@@ -1,0 +1,84 @@
+// M1 — microbenchmarks: F_p arithmetic and polynomial operations.
+#include <benchmark/benchmark.h>
+
+#include "poly/bivariate.h"
+#include "poly/polynomial.h"
+#include "util/rng.h"
+
+using namespace nampc;
+
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  Fp a(rng.next_below(Fp::kPrime));
+  Fp b(rng.next_below(Fp::kPrime));
+  for (auto _ : state) {
+    a = a * b + Fp(1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInverse(benchmark::State& state) {
+  Rng rng(2);
+  Fp a(rng.next_below(Fp::kPrime - 1) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+    a += Fp(1);
+  }
+}
+BENCHMARK(BM_FieldInverse);
+
+void BM_PolyEval(benchmark::State& state) {
+  Rng rng(3);
+  const Polynomial f = Polynomial::random_with_constant(
+      Fp(7), static_cast<int>(state.range(0)), rng);
+  Fp x(12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.eval(x));
+    x += Fp(1);
+  }
+}
+BENCHMARK(BM_PolyEval)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Interpolate(benchmark::State& state) {
+  Rng rng(4);
+  const int deg = static_cast<int>(state.range(0));
+  const Polynomial f = Polynomial::random_with_constant(Fp(9), deg, rng);
+  FpVec xs, ys;
+  for (int i = 1; i <= deg + 1; ++i) {
+    xs.push_back(Fp(static_cast<std::uint64_t>(i)));
+    ys.push_back(f.eval(Fp(static_cast<std::uint64_t>(i))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Polynomial::interpolate(xs, ys));
+  }
+}
+BENCHMARK(BM_Interpolate)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BivariateRow(benchmark::State& state) {
+  Rng rng(5);
+  const SymBivariate f = SymBivariate::random_with_secret(
+      Fp(3), static_cast<int>(state.range(0)), rng);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.row_for_party(i % 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_BivariateRow)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LagrangeCoefficients(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  FpVec xs;
+  for (int i = 1; i <= m; ++i) xs.push_back(Fp(static_cast<std::uint64_t>(i)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_coefficients(xs, Fp(99)));
+  }
+}
+BENCHMARK(BM_LagrangeCoefficients)->Arg(3)->Arg(7)->Arg(13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// M3 — microbenchmarks: the combinatorial machinery (maximum matching,
+// (n,t)-Star, max clique). The paper allows these to be exponential; the
+// numbers show the practical envelope for n <= 24.
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+using namespace nampc;
+
+namespace {
+
+Graph random_graph(int n, int pct, Rng& rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.next_below(100) < static_cast<std::uint64_t>(pct)) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph with_planted_clique(int n, int size, Rng& rng) {
+  Graph g = random_graph(n, 30, rng);
+  for (int i = 0; i < size; ++i) {
+    for (int j = i + 1; j < size; ++j) {
+      if (!g.has_edge(i, j)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+void BM_MaximumMatching(benchmark::State& state) {
+  Rng rng(21);
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = random_graph(n, 50, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximum_matching(g));
+  }
+}
+BENCHMARK(BM_MaximumMatching)->Arg(7)->Arg(10)->Arg(13)->Arg(16)->Arg(20);
+
+void BM_FindStar(benchmark::State& state) {
+  Rng rng(22);
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  const Graph g = with_planted_clique(n, n - t, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_star(g, t));
+  }
+}
+BENCHMARK(BM_FindStar)->Arg(7)->Arg(10)->Arg(13)->Arg(16)->Arg(20);
+
+void BM_MaximumClique(benchmark::State& state) {
+  Rng rng(23);
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = with_planted_clique(n, 2 * n / 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximum_clique(g));
+  }
+}
+BENCHMARK(BM_MaximumClique)->Arg(7)->Arg(10)->Arg(13)->Arg(16)->Arg(20);
+
+void BM_FindCliqueIncluding(benchmark::State& state) {
+  Rng rng(24);
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = with_planted_clique(n, 2 * n / 3, rng);
+  const PartySet must = PartySet::of({0, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_clique_including(g, must, n / 2));
+  }
+}
+BENCHMARK(BM_FindCliqueIncluding)->Arg(7)->Arg(13)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

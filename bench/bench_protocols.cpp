@@ -1,0 +1,104 @@
+// M4 — microbenchmarks: full simulated protocol runs (wall-clock per run),
+// showing what one core drives through the discrete-event engine.
+#include <benchmark/benchmark.h>
+
+#include "broadcast/ba.h"
+#include "sharing/vss.h"
+#include "sharing/wss.h"
+
+using namespace nampc;
+
+namespace {
+
+void BM_AcastRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ProtocolParams p{n, (n - 1) / 3, 0};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Simulation::Config cfg;
+    cfg.params = p;
+    cfg.seed = seed++;
+    Simulation sim(cfg, std::make_shared<Adversary>());
+    std::vector<Acast*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Acast>("a", 0, nullptr));
+    }
+    inst[0]->start({1, 2, 3});
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_AcastRun)->Arg(4)->Arg(7)->Arg(10)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_BaRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ProtocolParams p{n, (n - 1) / 3, 0};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Simulation::Config cfg;
+    cfg.params = p;
+    cfg.seed = seed++;
+    Simulation sim(cfg, std::make_shared<Adversary>());
+    std::vector<Ba*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
+    }
+    for (int i = 0; i < n; ++i) {
+      inst[static_cast<std::size_t>(i)]->start(i % 2 == 0);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_BaRun)->Arg(4)->Arg(7)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_WssRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ts = n == 4 ? 1 : (n == 7 ? 2 : 3);
+  const int ta = n == 4 ? 0 : 1;
+  const ProtocolParams p{n, ts, ta};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Simulation::Config cfg;
+    cfg.params = p;
+    cfg.seed = seed++;
+    cfg.ideal_primitives = n >= 10;
+    Simulation sim(cfg, std::make_shared<Adversary>());
+    std::vector<Wss*> inst;
+    WssOptions opts;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Wss>("w", 0, 0, opts, nullptr));
+    }
+    Rng rng(seed);
+    inst[0]->start({Polynomial::random_with_constant(Fp(1), ts, rng)});
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_WssRun)->Arg(4)->Arg(7)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_VssRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int ts = n == 4 ? 1 : (n == 5 ? 1 : 2);
+  const int ta = n == 4 ? 0 : 1;
+  const ProtocolParams p{n, ts, ta};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Simulation::Config cfg;
+    cfg.params = p;
+    cfg.seed = seed++;
+    cfg.ideal_primitives = n >= 7;
+    Simulation sim(cfg, std::make_shared<Adversary>());
+    PartySet z;
+    for (int i = n - 1; z.size() < ts - ta; --i) z.insert(i);
+    std::vector<Vss*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Vss>("v", 0, 0, 1, z, nullptr));
+    }
+    Rng rng(seed);
+    inst[0]->start({Polynomial::random_with_constant(Fp(1), ts, rng)});
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_VssRun)->Arg(4)->Arg(5)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// M2 — microbenchmarks: Reed-Solomon decoding (Berlekamp-Welch) and the
+// Table-1 schedule, the inner loop of every reconstruction in the stack.
+#include <benchmark/benchmark.h>
+
+#include "rs/reed_solomon.h"
+#include "util/rng.h"
+
+using namespace nampc;
+
+namespace {
+
+std::vector<RsPoint> make_word(int k, int m, int errors, Rng& rng) {
+  const Polynomial f =
+      Polynomial::random_with_constant(Fp(rng.next_below(1000)), k, rng);
+  std::vector<RsPoint> pts;
+  for (int i = 1; i <= m; ++i) {
+    const Fp x(static_cast<std::uint64_t>(i));
+    Fp y = f.eval(x);
+    if (i <= errors) y += Fp(1);
+    pts.push_back({x, y});
+  }
+  return pts;
+}
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  Rng rng(11);
+  const int k = static_cast<int>(state.range(0));
+  const int e = k / 2;
+  const auto pts = make_word(k, k + 2 * e + 1, 0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs_decode(pts, k, e));
+  }
+}
+BENCHMARK(BM_RsDecodeClean)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RsDecodeWithErrors(benchmark::State& state) {
+  Rng rng(12);
+  const int k = static_cast<int>(state.range(0));
+  const int e = k / 2;
+  const auto pts = make_word(k, k + 2 * e + 1, e, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs_decode(pts, k, e));
+  }
+}
+BENCHMARK(BM_RsDecodeWithErrors)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RsScheduledTable1(benchmark::State& state) {
+  Rng rng(13);
+  const int ts = static_cast<int>(state.range(0));
+  const int ta = ts / 2;
+  const auto pts = make_word(ts, ts + 2 * ta + 1, ta, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs_decode_scheduled(pts, ts, ta));
+  }
+}
+BENCHMARK(BM_RsScheduledTable1)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Small table-printing helpers shared by the experiment regenerators.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nampc::bench {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Cells>
+  void row(Cells&&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(std::forward<Cells>(cells))), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      os << "| ";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::setw(static_cast<int>(widths[c])) << std::left
+           << (c < r.size() ? r[c] : "") << " | ";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace nampc::bench

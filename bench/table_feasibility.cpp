@@ -1,0 +1,75 @@
+// Experiments E2 + E9 — the feasibility frontier of Theorem 1.1.
+//
+// Regenerates, as tables:
+//  * the minimal n for each (ts, ta) under the paper's tight bound
+//    n > 2·max(ts,ta) + max(2ta,ts), versus the prior bound n > 3ts + ta of
+//    [Appan-Chandramouli-Choudhury PODC'22] — including the "parties saved"
+//    column the abstract claims;
+//  * the regime trichotomy (pure-async 4ta+1, mixed 2ts+2ta+1, sync 3ts+1);
+//  * for a fixed n, the maximal tolerable ts per ta (the resilience
+//    frontier a deployment actually reads off).
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/bounds.h"
+
+using namespace nampc;
+
+namespace {
+
+const char* regime_name(ResiliencyRegime r) {
+  switch (r) {
+    case ResiliencyRegime::pure_async: return "n>4ta (async)";
+    case ResiliencyRegime::mixed: return "n>2ts+2ta (NEW)";
+    case ResiliencyRegime::sync_limited: return "n>3ts (sync)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E2/E9: feasibility frontier of Theorem 1.1 vs prior work.\n";
+
+  bench::banner("Minimal n per (ts, ta): this paper vs n > 3ts + ta [ACC'22]");
+  bench::Table t({"ts", "ta", "regime", "min n (paper)", "min n (prior)",
+                  "parties saved"});
+  for (int ts = 1; ts <= 8; ++ts) {
+    for (int ta = 0; ta <= ts; ++ta) {
+      t.row(ts, ta, regime_name(regime(ts, ta)), min_parties(ts, ta),
+            min_parties_prior(ts, ta),
+            min_parties_prior(ts, ta) - min_parties(ts, ta));
+    }
+  }
+  t.print();
+
+  bench::banner("Resilience frontier: max ts tolerable at fixed n");
+  bench::Table f({"n", "ta=0", "ta=1", "ta=2", "ta=3"});
+  for (int n = 4; n <= 21; ++n) {
+    auto cell = [n](int ta) {
+      const int ts = max_ts(n, ta);
+      return ts < ta ? std::string("-") : std::to_string(ts);
+    };
+    f.row(n, cell(0), cell(1), cell(2), cell(3));
+  }
+  f.print();
+
+  bench::banner("Boundary exactness check (n = min is feasible, n-1 is not)");
+  bench::Table b({"ts", "ta", "n = min", "feasible(n)", "feasible(n-1)"});
+  bool all_exact = true;
+  for (int ts = 1; ts <= 10; ++ts) {
+    for (int ta = 0; ta <= ts; ++ta) {
+      const int n = min_parties(ts, ta);
+      const bool ok = feasible(n, ts, ta) && !feasible(n - 1, ts, ta);
+      all_exact = all_exact && ok;
+      if (ta == 0 || ta == ts || 2 * ta == ts || 2 * ta == ts + 1) {
+        b.row(ts, ta, n, feasible(n, ts, ta) ? "yes" : "NO",
+              feasible(n - 1, ts, ta) ? "YES(!)" : "no");
+      }
+    }
+  }
+  b.print();
+  std::cout << (all_exact ? "\nall boundaries exact.\n"
+                          : "\nBOUNDARY VIOLATION FOUND\n");
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+// Experiment E7 — property/latency matrix of the imported primitives
+// (Lemmas 4.4, 4.6, 4.8 and Theorem 4.10): Acast, Π_BC, Π_BA, Π_ACS in
+// both networks, Full mode, measured against the T_* formulas.
+#include <iostream>
+
+#include "acs/acs.h"
+#include "bench_util.h"
+#include "broadcast/ba.h"
+#include "broadcast/bc.h"
+#include "net/simulation.h"
+
+using namespace nampc;
+
+namespace {
+
+Simulation::Config config(ProtocolParams p, NetworkKind kind,
+                          std::uint64_t seed) {
+  Simulation::Config cfg;
+  cfg.params = p;
+  cfg.kind = kind;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Row {
+  bool all_output = false;
+  bool consistent = true;
+  Time latest = 0;
+  std::uint64_t messages = 0;
+};
+
+Row run_acast(ProtocolParams p, NetworkKind kind) {
+  Simulation sim(config(p, kind, 11), std::make_shared<Adversary>());
+  std::vector<Acast*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim.party(i).spawn<Acast>("a", 0, nullptr));
+  }
+  inst[0]->start({42});
+  (void)sim.run();
+  Row r;
+  r.all_output = true;
+  for (Acast* a : inst) {
+    if (!a->has_output() || a->output() != Words{42}) r.all_output = false;
+    if (a->has_output()) r.latest = std::max(r.latest, a->output_time());
+  }
+  r.messages = sim.metrics().messages_sent;
+  return r;
+}
+
+Row run_bc(ProtocolParams p, NetworkKind kind) {
+  Simulation sim(config(p, kind, 12), std::make_shared<Adversary>());
+  std::vector<Bc*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim.party(i).spawn<Bc>("b", 0, 0, nullptr));
+  }
+  inst[0]->start({7});
+  (void)sim.run();
+  Row r;
+  r.all_output = true;
+  for (Bc* b : inst) {
+    const auto& out = b->current_output();
+    if (!out.has_value() || *out != Words{7}) r.all_output = false;
+    r.latest = std::max(r.latest, b->value_time());
+  }
+  r.messages = sim.metrics().messages_sent;
+  return r;
+}
+
+Row run_ba(ProtocolParams p, NetworkKind kind, bool mixed) {
+  Simulation sim(config(p, kind, 13), std::make_shared<Adversary>());
+  std::vector<Ba*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
+  }
+  for (int i = 0; i < p.n; ++i) {
+    inst[static_cast<std::size_t>(i)]->start(mixed ? (i % 2 == 0) : true);
+  }
+  (void)sim.run();
+  Row r;
+  r.all_output = true;
+  std::optional<bool> v;
+  for (Ba* b : inst) {
+    if (!b->has_output()) {
+      r.all_output = false;
+      continue;
+    }
+    if (!v.has_value()) v = b->output();
+    if (*v != b->output()) r.consistent = false;
+  }
+  r.messages = sim.metrics().messages_sent;
+  return r;
+}
+
+Row run_acs(ProtocolParams p, NetworkKind kind) {
+  Simulation sim(config(p, kind, 14), std::make_shared<Adversary>());
+  std::vector<Acs*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim.party(i).spawn<Acs>("acs", 0, nullptr));
+  }
+  for (Acs* a : inst) {
+    for (int j = 0; j < p.n; ++j) a->mark(j);
+  }
+  (void)sim.run();
+  Row r;
+  r.all_output = true;
+  std::optional<PartySet> com;
+  for (Acs* a : inst) {
+    if (!a->has_output()) {
+      r.all_output = false;
+      continue;
+    }
+    if (!com.has_value()) com = a->output();
+    if (*com != a->output()) r.consistent = false;
+  }
+  r.messages = sim.metrics().messages_sent;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E7: primitive matrix (Full mode, honest runs), latency vs "
+               "the T_* formulas.\n";
+  for (ProtocolParams p : {ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
+                           ProtocolParams{10, 3, 1}}) {
+    const Timing tm = Timing::derive(p, 10);
+    bench::banner("n=" + std::to_string(p.n) + " ts=" + std::to_string(p.ts) +
+                  " ta=" + std::to_string(p.ta) +
+                  "  (T_BC=" + std::to_string(tm.t_bc) +
+                  ", T_BA=" + std::to_string(tm.t_ba) +
+                  ", T_ACS=" + std::to_string(tm.t_acs) + ", Δ=10)");
+    bench::Table t({"primitive", "network", "all output", "consistent",
+                    "latest output", "bound", "messages"});
+    for (NetworkKind kind :
+         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+      const char* nk = kind == NetworkKind::synchronous ? "sync" : "async";
+      const bool sync = kind == NetworkKind::synchronous;
+      {
+        Row r = run_acast(p, kind);
+        t.row("Acast (4.3)", nk, r.all_output ? "yes" : "NO", "-", r.latest,
+              sync ? std::to_string(3 * tm.delta) : "eventual", r.messages);
+      }
+      {
+        Row r = run_bc(p, kind);
+        t.row("Pi_BC (4.5)", nk, r.all_output ? "yes" : "NO", "-", r.latest,
+              sync ? std::to_string(tm.t_bc) : "eventual", r.messages);
+      }
+      {
+        Row r = run_ba(p, kind, /*mixed=*/false);
+        t.row("Pi_BA unanimous (4.7)", nk, r.all_output ? "yes" : "NO",
+              r.consistent ? "yes" : "NO", "-",
+              sync ? std::to_string(tm.t_ba) : "a.s. eventual", r.messages);
+      }
+      {
+        Row r = run_ba(p, kind, /*mixed=*/true);
+        t.row("Pi_BA mixed (4.7)", nk, r.all_output ? "yes" : "NO",
+              r.consistent ? "yes" : "NO", "-",
+              sync ? std::to_string(tm.t_ba) : "a.s. eventual", r.messages);
+      }
+      {
+        Row r = run_acs(p, kind);
+        t.row("Pi_ACS (4.9)", nk, r.all_output ? "yes" : "NO",
+              r.consistent ? "yes" : "NO", "-",
+              sync ? std::to_string(tm.t_acs) : "a.s. eventual", r.messages);
+      }
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,304 @@
+// nampc_cli — drive any protocol of the stack from the command line.
+//
+//   nampc_cli <protocol> [options]
+//
+//   protocols:  wss | vss | vts | ba | acs | mpc
+//   options:
+//     --n N --ts T --ta T        parameters (default 7 2 1; checked
+//                                against Theorem 1.1)
+//     --async                    asynchronous network (default: sync)
+//     --seed S                   simulation seed (default 1)
+//     --delta D                  synchronous bound Δ (default 10)
+//     --ideal                    ideal-functionality SBA/ABA gadgets
+//     --adversary silent|garble  corrupt the last budget-many parties
+//     --secrets L                batch width for wss/vss (default 1)
+//
+// Prints per-party outcomes, timing vs the paper's T_* bound, and the
+// run's message/event metrics. Exit code 0 iff all protocol guarantees
+// held in the run.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/nampc.h"
+
+using namespace nampc;
+
+namespace {
+
+struct Options {
+  std::string protocol = "wss";
+  ProtocolParams params{7, 2, 1};
+  NetworkKind kind = NetworkKind::synchronous;
+  std::uint64_t seed = 1;
+  Time delta = 10;
+  bool ideal = false;
+  std::string adversary = "none";
+  int secrets = 1;
+};
+
+bool parse(int argc, char** argv, Options& o) {
+  if (argc < 2) return false;
+  o.protocol = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](int& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoi(argv[++i]);
+      return true;
+    };
+    int v = 0;
+    if (a == "--n" && next(v)) o.params.n = v;
+    else if (a == "--ts" && next(v)) o.params.ts = v;
+    else if (a == "--ta" && next(v)) o.params.ta = v;
+    else if (a == "--seed" && next(v)) o.seed = static_cast<std::uint64_t>(v);
+    else if (a == "--delta" && next(v)) o.delta = v;
+    else if (a == "--secrets" && next(v)) o.secrets = v;
+    else if (a == "--async") o.kind = NetworkKind::asynchronous;
+    else if (a == "--ideal") o.ideal = true;
+    else if (a == "--adversary" && i + 1 < argc) o.adversary = argv[++i];
+    else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<ScriptedAdversary> build_adversary(const Options& o) {
+  auto adv = std::make_shared<ScriptedAdversary>();
+  if (o.adversary == "none") return adv;
+  const int budget =
+      o.kind == NetworkKind::synchronous ? o.params.ts : o.params.ta;
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(o.params.n - 1 - i);
+  adv = std::make_shared<ScriptedAdversary>(corrupt);
+  for (int id : corrupt.to_vector()) {
+    if (o.adversary == "silent") adv->silence(id);
+    else adv->garble_on(id, "");
+  }
+  std::cout << "adversary: " << o.adversary << " on " << corrupt.str()
+            << "\n";
+  return adv;
+}
+
+int run(const Options& o) {
+  if (!feasible(o.params.n, o.params.ts, o.params.ta)) {
+    std::cerr << "infeasible parameters: need n > 2*max(ts,ta)+max(2ta,ts) "
+              << "(minimum n = " << min_parties(o.params.ts, o.params.ta)
+              << ")\n";
+    return 2;
+  }
+  Simulation::Config cfg;
+  cfg.params = o.params;
+  cfg.kind = o.kind;
+  cfg.seed = o.seed;
+  cfg.delta = o.delta;
+  cfg.ideal_primitives = o.ideal;
+  auto adv = build_adversary(o);
+  const PartySet corrupt = adv->corrupt_set();
+  Simulation sim(cfg, adv);
+  const Timing& tm = sim.timing();
+  Rng rng(o.seed ^ 0xc11);
+  const int n = o.params.n;
+  bool ok = true;
+
+  std::cout << "protocol=" << o.protocol << " n=" << n << " ts="
+            << o.params.ts << " ta=" << o.params.ta << " network="
+            << (o.kind == NetworkKind::synchronous ? "sync" : "async")
+            << " seed=" << o.seed << "\n";
+
+  if (o.protocol == "wss" || o.protocol == "vss") {
+    std::vector<Wss*> inst;
+    const PartySet z = corrupt.empty()
+                           ? PartySet{((1ull << (o.params.ts - o.params.ta)) -
+                                       1ull)
+                                      << (n - (o.params.ts - o.params.ta))}
+                           : corrupt;
+    for (int i = 0; i < n; ++i) {
+      if (o.protocol == "vss") {
+        PartySet zz = z;
+        while (zz.size() > o.params.ts - o.params.ta) {
+          zz.erase(zz.to_vector().back());
+        }
+        inst.push_back(
+            &sim.party(i).spawn<Vss>("p", 0, 0, o.secrets, zz, nullptr));
+      } else {
+        WssOptions opts;
+        opts.num_secrets = o.secrets;
+        inst.push_back(&sim.party(i).spawn<Wss>("p", 0, 0, opts, nullptr));
+      }
+    }
+    std::vector<Polynomial> qs;
+    for (int k = 0; k < o.secrets; ++k) {
+      qs.push_back(Polynomial::random_with_constant(
+          Fp(static_cast<std::uint64_t>(1000 + k)), o.params.ts, rng));
+    }
+    inst[0]->start(qs);
+    ok = sim.run() == RunStatus::quiescent;
+    const Time bound = o.protocol == "vss" ? tm.t_vss : tm.t_wss;
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Wss* w = inst[static_cast<std::size_t>(i)];
+      std::cout << "P" << i << ": ";
+      if (w->outcome() == WssOutcome::rows) {
+        const bool right = w->share(0) == qs[0].eval(eval_point(i));
+        ok = ok && right;
+        std::cout << "share ok=" << (right ? "yes" : "NO") << " t="
+                  << w->output_time() << (o.kind == NetworkKind::synchronous
+                                              ? (w->output_time() <= bound
+                                                     ? " (<=bound)"
+                                                     : " (OVER bound)")
+                                              : "")
+                  << " revealed=" << w->revealed_parties().str() << "\n";
+      } else {
+        ok = false;
+        std::cout << "no output\n";
+      }
+    }
+  } else if (o.protocol == "vts") {
+    std::vector<Vts*> inst;
+    PartySet z = corrupt;
+    while (z.size() > o.params.ts - o.params.ta) z.erase(z.to_vector().back());
+    while (z.size() < o.params.ts - o.params.ta) {
+      for (int i = n - 1; i >= 0 && z.size() < o.params.ts - o.params.ta; --i) {
+        if (!z.contains(i)) z.insert(i);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(
+          &sim.party(i).spawn<Vts>("p", 0, 0, o.secrets, z, nullptr));
+    }
+    inst[0]->start();
+    ok = sim.run() == RunStatus::quiescent;
+    int holders = 0;
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Vts* v = inst[static_cast<std::size_t>(i)];
+      std::cout << "P" << i << ": "
+                << (v->outcome() == VtsOutcome::triples
+                        ? "triples"
+                        : (v->outcome() == VtsOutcome::discarded ? "discarded"
+                                                                 : "none"))
+                << " t=" << v->output_time() << "\n";
+      if (v->outcome() == VtsOutcome::triples) ++holders;
+    }
+    ok = ok && holders >= n - o.params.ts;
+  } else if (o.protocol == "ba") {
+    std::vector<Ba*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Ba>("p", 0, nullptr));
+    }
+    for (int i = 0; i < n; ++i) {
+      inst[static_cast<std::size_t>(i)]->start(i % 2 == 0);
+    }
+    ok = sim.run() == RunStatus::quiescent;
+    std::optional<bool> agreed;
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Ba* b = inst[static_cast<std::size_t>(i)];
+      if (!b->has_output()) {
+        ok = false;
+        continue;
+      }
+      if (!agreed.has_value()) agreed = b->output();
+      if (*agreed != b->output()) ok = false;
+    }
+    std::cout << "decision: " << (agreed.value_or(false) ? 1 : 0)
+              << " agreement=" << (ok ? "yes" : "NO") << "\n";
+  } else if (o.protocol == "acs") {
+    std::vector<Acs*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Acs>("p", 0, nullptr));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      for (int j = 0; j < n; ++j) {
+        if (!corrupt.contains(j)) inst[static_cast<std::size_t>(i)]->mark(j);
+      }
+    }
+    ok = sim.run() == RunStatus::quiescent;
+    std::optional<PartySet> com;
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Acs* a = inst[static_cast<std::size_t>(i)];
+      if (!a->has_output()) {
+        ok = false;
+        continue;
+      }
+      if (!com.has_value()) com = a->output();
+      if (*com != a->output()) ok = false;
+    }
+    std::cout << "Com = " << com.value_or(PartySet{}).str()
+              << " agreement=" << (ok ? "yes" : "NO") << "\n";
+  } else if (o.protocol == "mpc") {
+    Circuit c;
+    std::vector<int> in;
+    for (int i = 0; i < n; ++i) in.push_back(c.input(i));
+    int acc = in[0];
+    for (int i = 1; i < n; ++i) acc = c.add(acc, in[static_cast<std::size_t>(i)]);
+    c.mark_output(c.mul(acc, in[0]));
+    std::vector<Mpc*> inst;
+    std::map<int, FpVec> inputs;
+    for (int i = 0; i < n; ++i) {
+      inputs[i] = {Fp(static_cast<std::uint64_t>(i + 1))};
+      inst.push_back(&sim.party(i).spawn<Mpc>("p", c, inputs[i], nullptr));
+    }
+    ok = sim.run() == RunStatus::quiescent;
+    std::map<int, FpVec> eff = inputs;
+    for (int id : corrupt.to_vector()) {
+      if (o.adversary == "silent") eff[id] = {Fp(0)};
+    }
+    const FpVec want = c.eval_plain(eff);
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Mpc* m = inst[static_cast<std::size_t>(i)];
+      if (!m->has_output()) {
+        std::cout << "P" << i << ": no output\n";
+        ok = false;
+        continue;
+      }
+      const bool right = m->output() == want;
+      if (o.adversary == "garble") {
+        // Garbling during sharing may legitimately exclude the corrupt
+        // dealer's input; only agreement is required then.
+        std::cout << "P" << i << ": output " << m->output()[0] << " t="
+                  << m->output_time() << "\n";
+      } else {
+        ok = ok && right;
+        std::cout << "P" << i << ": output " << m->output()[0]
+                  << (right ? " (correct)" : " (WRONG)") << " t="
+                  << m->output_time() << "\n";
+      }
+    }
+  } else {
+    std::cerr << "unknown protocol: " << o.protocol << "\n";
+    return 2;
+  }
+
+  std::cout << "metrics: messages=" << sim.metrics().messages_sent
+            << " words=" << sim.metrics().words_sent
+            << " events=" << sim.metrics().events_processed
+            << " rs_decodes=" << sim.metrics().rs_decodes << "\n";
+  std::cout << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    std::cerr
+        << "usage: nampc_cli <wss|vss|vts|ba|acs|mpc> [--n N --ts T --ta T] "
+           "[--async] [--seed S] [--delta D] [--ideal] "
+           "[--adversary silent|garble] [--secrets L]\n";
+    return 2;
+  }
+  try {
+    return run(o);
+  } catch (const InvariantError& e) {
+    std::cerr << "invariant error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,119 @@
+// Network-agnostic failover demo — the paper's headline capability.
+//
+// The SAME protocol code is executed three times:
+//   1. synchronous network, ts = 2 active corruptions (wrong shares),
+//   2. asynchronous network, ta = 1 corruption + adversarial scheduling,
+//   3. asynchronous network with heavy-tail delays and no corruption.
+// The parties never learn which run they are in; in every case all honest
+// parties converge on the same, correct output. A classically-synchronous
+// protocol would be broken by run 2; a purely asynchronous protocol (which
+// must assume ta < n/4 corruption at n = 7 ⇒ at most 1) could not survive
+// run 1's two corruptions.
+//
+//   $ ./network_failover
+#include <iostream>
+
+#include "core/nampc.h"
+
+using namespace nampc;
+
+namespace {
+
+struct RunReport {
+  bool ok = false;
+  Fp output;
+  Time slowest = 0;
+  std::uint64_t messages = 0;
+};
+
+RunReport run_once(NetworkKind kind, bool corrupt_parties,
+                   std::uint64_t seed) {
+  Simulation::Config cfg;
+  cfg.params = {7, 2, 1};
+  cfg.kind = kind;
+  cfg.seed = seed;
+  cfg.ideal_primitives = true;
+  cfg.async_spread = 60;  // heavy-tail delays in the asynchronous runs
+  const int n = cfg.params.n;
+
+  Circuit circuit;  // inner product of parties 0..2 and 3..5's values
+  std::vector<int> in;
+  for (int i = 0; i < n; ++i) in.push_back(circuit.input(i));
+  int acc = circuit.mul(in[0], in[3]);
+  acc = circuit.add(acc, circuit.mul(in[1], in[4]));
+  acc = circuit.add(acc, circuit.mul(in[2], in[5]));
+  circuit.mark_output(acc);
+
+  auto adv = std::make_shared<ScriptedAdversary>();
+  if (corrupt_parties) {
+    const int budget =
+        kind == NetworkKind::synchronous ? cfg.params.ts : cfg.params.ta;
+    PartySet corrupt;
+    for (int i = 0; i < budget; ++i) corrupt.insert(n - 1 - i);
+    adv = std::make_shared<ScriptedAdversary>(corrupt);
+    // Byzantine behaviour: garble every reconstruction share they send.
+    for (int id : corrupt.to_vector()) {
+      adv->garble_on(id, "mul");
+      adv->garble_on(id, "outrec");
+      adv->garble_on(id, "points");
+    }
+  }
+
+  Simulation sim(cfg, adv);
+  std::vector<Mpc*> nodes;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(&sim.party(i).spawn<Mpc>(
+        "mpc", circuit, FpVec{Fp(static_cast<std::uint64_t>(i + 1))},
+        nullptr));
+  }
+  RunReport rep;
+  if (sim.run() != RunStatus::quiescent) return rep;
+  const PartySet corrupt = adv->corrupt_set();
+  std::optional<Fp> agreed;
+  rep.ok = true;
+  for (int i = 0; i < n; ++i) {
+    if (corrupt.contains(i)) continue;
+    Mpc* m = nodes[static_cast<std::size_t>(i)];
+    if (!m->has_output()) {
+      rep.ok = false;
+      break;
+    }
+    if (!agreed.has_value()) agreed = m->output()[0];
+    if (*agreed != m->output()[0]) rep.ok = false;
+    rep.slowest = std::max(rep.slowest, m->output_time());
+  }
+  if (agreed.has_value()) rep.output = *agreed;
+  rep.messages = sim.metrics().messages_sent;
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  // 1*4 + 2*5 + 3*6 = 32.
+  const Fp expected(32);
+  struct Scenario {
+    const char* name;
+    NetworkKind kind;
+    bool corrupt;
+  } scenarios[] = {
+      {"synchronous + ts=2 byzantine", NetworkKind::synchronous, true},
+      {"asynchronous + ta=1 byzantine + adversarial delays",
+       NetworkKind::asynchronous, true},
+      {"asynchronous, heavy-tail delays, honest", NetworkKind::asynchronous,
+       false},
+  };
+  bool all_ok = true;
+  for (const auto& s : scenarios) {
+    const RunReport r = run_once(s.kind, s.corrupt, 1234);
+    std::cout << s.name << ":\n  converged=" << (r.ok ? "yes" : "NO")
+              << " output=" << r.output
+              << (r.output == expected ? " (correct)" : " (WRONG)")
+              << " latest-output@t=" << r.slowest
+              << " messages=" << r.messages << "\n";
+    all_ok = all_ok && r.ok && r.output == expected;
+  }
+  std::cout << (all_ok ? "network-agnostic: all scenarios correct.\n"
+                       : "FAILURE\n");
+  return all_ok ? 0 : 1;
+}

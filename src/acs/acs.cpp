@@ -1,0 +1,79 @@
+#include "acs/acs.h"
+
+namespace nampc {
+
+AcsCore::AcsCore(Party& party, std::string key, Time nominal_start,
+                 int num_slots, int quorum, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)),
+      nominal_start_(nominal_start),
+      num_slots_(num_slots),
+      quorum_(quorum),
+      on_output_(std::move(on_output)),
+      decisions_(static_cast<std::size_t>(num_slots)) {
+  NAMPC_REQUIRE(num_slots >= 1 && num_slots <= 64, "bad slot count");
+  NAMPC_REQUIRE(quorum >= 1 && quorum <= num_slots, "bad quorum");
+  bas_.reserve(static_cast<std::size_t>(num_slots));
+  for (int j = 0; j < num_slots; ++j) {
+    bas_.push_back(&make_child<Ba>("slot" + std::to_string(j), nominal_start_,
+                                   [this, j](bool v) { on_ba_output(j, v); }));
+  }
+  at(nominal_start_, [this] { at_start(); });
+}
+
+void AcsCore::on_message(const Message& msg) {
+  (void)msg;  // all traffic flows through the slot BAs
+}
+
+void AcsCore::mark(int slot) {
+  NAMPC_REQUIRE(slot >= 0 && slot < num_slots_, "slot out of range");
+  if (marked_.contains(slot)) return;
+  marked_.insert(slot);
+  if (started_) join(slot, true);
+}
+
+void AcsCore::at_start() {
+  started_ = true;
+  for (int slot : marked_.to_vector()) join(slot, true);
+}
+
+void AcsCore::join(int slot, bool input) {
+  if (joined_.contains(slot)) return;
+  joined_.insert(slot);
+  bas_[static_cast<std::size_t>(slot)]->start(input);
+}
+
+void AcsCore::on_ba_output(int slot, bool value) {
+  auto& d = decisions_[static_cast<std::size_t>(slot)];
+  if (d.has_value()) return;
+  d = value;
+  if (value) ++ones_;
+  // Step 2 of Protocol 4.9: once the quorum of 1-decisions is in, vote 0 on
+  // everything this party has not endorsed.
+  if (!zero_fill_done_ && ones_ >= quorum_) {
+    zero_fill_done_ = true;
+    for (int j = 0; j < num_slots_; ++j) {
+      if (!joined_.contains(j)) join(j, false);
+    }
+  }
+  maybe_finish();
+}
+
+void AcsCore::maybe_finish() {
+  if (output_.has_value()) return;
+  PartySet com;
+  for (int j = 0; j < num_slots_; ++j) {
+    const auto& d = decisions_[static_cast<std::size_t>(j)];
+    if (!d.has_value()) return;
+    if (*d) com.insert(j);
+  }
+  NAMPC_ASSERT(com.size() >= quorum_, "acs concluded below quorum");
+  output_ = com;
+  if (on_output_) on_output_(com);
+}
+
+Acs::Acs(Party& party, std::string key, Time nominal_start, OutputFn on_output)
+    : AcsCore(party, std::move(key), nominal_start, party.sim().n(),
+              party.sim().n() - party.sim().params().ts,
+              std::move(on_output)) {}
+
+}  // namespace nampc

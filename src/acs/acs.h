@@ -1,0 +1,70 @@
+// Agreement on a Common Set — Π_ACS (Protocol 4.9, Theorem 4.10).
+//
+// AcsCore is the generalized engine: k slots, one Π_BA per slot, a quorum q.
+// Parties mark() slots as their local predicate `prop` becomes true (the
+// "dynamically growing set S_i"); marked slots join their BA with input 1;
+// once q slot-BAs have decided 1, the party joins every remaining BA with
+// input 0; when all k BAs have decided, the output is the set of slots that
+// decided 1 (guaranteed >= q).
+//
+// Π_ACS instantiates slots = parties, q = n - ts (agreeing on a common set
+// of dealers / input providers). The MPC layer also instantiates slots =
+// candidate Z-subset instances with q = 1 (the second ACS layer of §2.3,
+// agreeing on one successful subset).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "broadcast/ba.h"
+#include "util/small_set.h"
+
+namespace nampc {
+
+class AcsCore : public ProtocolInstance {
+ public:
+  /// Called once, with the set of slots whose BA decided 1.
+  using OutputFn = std::function<void(PartySet)>;
+
+  AcsCore(Party& party, std::string key, Time nominal_start, int num_slots,
+          int quorum, OutputFn on_output);
+
+  /// Declares that this party's predicate holds for `slot`.
+  void mark(int slot);
+
+  [[nodiscard]] bool has_output() const { return output_.has_value(); }
+  [[nodiscard]] PartySet output() const {
+    NAMPC_REQUIRE(output_.has_value(), "acs has no output yet");
+    return *output_;
+  }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  void at_start();
+  void join(int slot, bool input);
+  void on_ba_output(int slot, bool value);
+  void maybe_finish();
+
+  Time nominal_start_;
+  int num_slots_;
+  int quorum_;
+  OutputFn on_output_;
+  bool started_ = false;
+  PartySet marked_;        // slots whose prop holds locally
+  PartySet joined_;        // slot BAs this party has joined
+  std::vector<Ba*> bas_;
+  std::vector<std::optional<bool>> decisions_;
+  int ones_ = 0;
+  bool zero_fill_done_ = false;
+  std::optional<PartySet> output_;
+};
+
+/// Π_ACS proper: slots are parties, quorum is n - ts.
+class Acs : public AcsCore {
+ public:
+  Acs(Party& party, std::string key, Time nominal_start, OutputFn on_output);
+};
+
+}  // namespace nampc

@@ -1,0 +1,68 @@
+// Reusable adversary strategies for tests, benchmarks and examples.
+//
+// ScriptedAdversary composes ordered rules: the first rule whose predicate
+// matches a message decides what happens to it. The Simulation still
+// enforces the network model on top (honest senders cannot be dropped or
+// rewritten; see net/adversary.h), so rules targeting honest traffic can
+// only exercise scheduling power.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/adversary.h"
+
+namespace nampc {
+
+/// Rule-based adversary. Also usable with an empty corrupt set as a pure
+/// (adversarial) scheduler.
+class ScriptedAdversary : public Adversary {
+ public:
+  using Predicate = std::function<bool(const Message&, Time)>;
+  using Action = std::function<SendDecision(const Message&, Time, Rng&)>;
+
+  explicit ScriptedAdversary(PartySet corrupt = {}) : corrupt_(corrupt) {}
+
+  [[nodiscard]] PartySet corrupt_set() const override { return corrupt_; }
+
+  /// Appends a rule; rules are evaluated in insertion order.
+  ScriptedAdversary& add_rule(Predicate pred, Action act) {
+    rules_.push_back({std::move(pred), std::move(act)});
+    return *this;
+  }
+
+  /// Corrupt party `p` sends nothing at or after `from_time`.
+  ScriptedAdversary& silence(PartyId p, Time from_time = 0);
+
+  /// Corrupt party `p` sends nothing on instances whose key contains
+  /// `key_fragment`, at or after `from_time`.
+  ScriptedAdversary& silence_on(PartyId p, std::string key_fragment,
+                                Time from_time = 0);
+
+  /// Corrupt party `p` adds 1 to every payload word on matching instances —
+  /// the canonical "wrong value" fault (wrong share, wrong pairwise point).
+  ScriptedAdversary& garble_on(PartyId p, std::string key_fragment,
+                               Time from_time = 0);
+
+  /// Scheduler rule: all messages between the two sets (either direction)
+  /// are delayed by `delay` ticks (clamped to the model for honest senders;
+  /// pass kFarFuture in an asynchronous run for an "indefinite" delay).
+  ScriptedAdversary& delay_between(PartySet a, PartySet b, Time delay);
+
+  /// Scheduler rule: every message is delivered with exactly `delay`.
+  ScriptedAdversary& fixed_delay(Time delay);
+
+  SendDecision on_send(const Message& msg, Time now, NetworkKind kind,
+                       Rng& rng) override;
+
+ private:
+  struct Rule {
+    Predicate pred;
+    Action act;
+  };
+  PartySet corrupt_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace nampc

@@ -1,0 +1,182 @@
+#include "broadcast/aba.h"
+
+#include <vector>
+
+namespace nampc {
+
+namespace {
+
+/// Ideal-agreement functionality used in ideal_primitives mode: decides the
+/// majority bit of the honest inputs registered when the (n - ts)-quorum
+/// forms (unanimous honest prefixes win, satisfying validity), and delivers
+/// to each party after it has joined.
+struct IdealAbaGadget {
+  struct Waiter {
+    PartyId id;
+    Time input_time;
+    std::function<void(bool)> deliver;
+    bool delivered = false;
+  };
+  std::map<PartyId, bool> inputs;
+  std::vector<Waiter> waiters;
+  std::optional<bool> decision;
+  Time quorum_time = 0;
+};
+
+}  // namespace
+
+Aba::Aba(Party& party, std::string key, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)), on_output_(std::move(on_output)) {
+  metrics().ba_instances++;
+}
+
+bool Aba::coin(int round) {
+  if (sim().config().local_coins) return rng().next_bool();
+  return sim().common_coin(key(), static_cast<std::uint64_t>(round));
+}
+
+void Aba::start(bool input) {
+  NAMPC_REQUIRE(!started_, "aba started twice");
+  started_ = true;
+  value_ = input;
+
+  if (sim().config().ideal_primitives) {
+    auto& gadget = sim().shared_state<IdealAbaGadget>(
+        "aba:" + key(), [] { return new IdealAbaGadget(); });
+    gadget.inputs.emplace(my_id(), input);
+    gadget.waiters.push_back(
+        {my_id(), now(), [this](bool v) {
+           if (!decided_.has_value()) {
+             decided_ = v;
+             if (on_output_) on_output_(v);
+           }
+         }});
+    const PartySet corrupt = sim().adversary().corrupt_set();
+    if (!gadget.decision.has_value() &&
+        static_cast<int>(gadget.inputs.size()) >= n() - params().ts) {
+      int ones = 0;
+      int zeros = 0;
+      for (const auto& [id, v] : gadget.inputs) {
+        if (corrupt.contains(id)) continue;
+        (v ? ones : zeros)++;
+      }
+      gadget.decision = ones >= zeros;  // ties -> 1, matching Π_BA's rule
+      gadget.quorum_time = now();
+    }
+    if (gadget.decision.has_value()) {
+      // Deliver to every joined party that has not been served yet.
+      for (auto& waiter : gadget.waiters) {
+        if (waiter.delivered) continue;
+        waiter.delivered = true;
+        Time when = std::max(waiter.input_time, gadget.quorum_time) +
+                    timing().t_aba;
+        if (sim().kind() == NetworkKind::asynchronous) {
+          when += sim().rng().next_in(
+              1, sim().config().async_spread * timing().delta);
+        }
+        auto deliver = waiter.deliver;
+        const bool v = *gadget.decision;
+        // klass 0: an ideal output is observationally a message arrival —
+        // "by time T" checks at the same tick must see it.
+        sim().schedule(
+            std::max(when, now()), [deliver, v] { deliver(v); }, /*klass=*/0);
+      }
+    }
+    return;
+  }
+
+  round_ = 1;
+  begin_round();
+}
+
+void Aba::begin_round() {
+  metrics().aba_rounds++;
+  phase_ = 1;
+  Writer w;
+  w.u64(static_cast<std::uint64_t>(round_));
+  w.u64(static_cast<std::uint64_t>(value_ ? 1 : 0));
+  send_all(kPhase1, std::move(w).take());
+  try_advance();
+}
+
+void Aba::on_message(const Message& msg) {
+  if (msg.type != kPhase1 && msg.type != kPhase2 && msg.type != kPhase3) return;
+  Reader r(msg.payload);
+  const int round = static_cast<int>(r.u64());
+  const int v = static_cast<int>(r.u64());
+  if (round < 1 || round > 100000) return;
+  if (v < 0 || v > 2) return;
+  if ((msg.type != kPhase3) && v == kNoCandidate) return;
+  msgs_[{msg.type, round}].emplace(msg.from, v);
+  try_advance();
+}
+
+void Aba::try_advance() {
+  if (halted_ || !started_) return;
+  const int quorum = n() - params().ts;
+
+  bool progressed = true;
+  while (progressed && !halted_) {
+    progressed = false;
+    const auto& cur = msgs_[{phase_, round_}];
+    if (static_cast<int>(cur.size()) < quorum) return;
+
+    int ones = 0;
+    int zeros = 0;
+    int no_cand = 0;
+    for (const auto& [id, v] : cur) {
+      if (v == 1) ++ones;
+      else if (v == 0) ++zeros;
+      else ++no_cand;
+    }
+
+    if (phase_ == 1) {
+      const int prop = ones >= zeros ? 1 : 0;  // majority of received values
+      phase_ = 2;
+      Writer w;
+      w.u64(static_cast<std::uint64_t>(round_));
+      w.u64(static_cast<std::uint64_t>(prop));
+      send_all(kPhase2, std::move(w).take());
+      progressed = true;
+    } else if (phase_ == 2) {
+      int cand = kNoCandidate;
+      if (2 * ones > n() + params().ts) cand = 1;
+      else if (2 * zeros > n() + params().ts) cand = 0;
+      phase_ = 3;
+      Writer w;
+      w.u64(static_cast<std::uint64_t>(round_));
+      w.u64(static_cast<std::uint64_t>(cand));
+      send_all(kPhase3, std::move(w).take());
+      progressed = true;
+    } else {  // phase 3
+      const int two_t_plus_1 = 2 * params().ts + 1;
+      const int t_plus_1 = params().ts + 1;
+      if (ones >= two_t_plus_1 || zeros >= two_t_plus_1) {
+        const bool w = ones >= two_t_plus_1;
+        value_ = w;
+        if (!decided_.has_value()) {
+          decided_ = w;
+          decided_round_ = round_;
+          if (on_output_) on_output_(w);
+        }
+      } else if (ones >= t_plus_1) {
+        value_ = true;
+      } else if (zeros >= t_plus_1) {
+        value_ = false;
+      } else {
+        value_ = coin(round_);
+      }
+      // Halt one full round after deciding; by then every honest party has
+      // adopted the decided value and will decide in that round itself.
+      if (decided_.has_value() && round_ >= decided_round_ + 1) {
+        halted_ = true;
+        return;
+      }
+      ++round_;
+      begin_round();
+      return;  // begin_round re-enters try_advance
+    }
+  }
+}
+
+}  // namespace nampc

@@ -1,0 +1,66 @@
+// Asynchronous binary Byzantine agreement (the Π_ABA black box of §4.4).
+//
+// Bracha-style randomized agreement for t < n/3: rounds of three message
+// exchanges (value / proposal / confirm), deciding on 2t+1 confirmations,
+// adopting on t+1, flipping a coin otherwise. The coin is pluggable
+// (Simulation::Config::local_coins): the default ideal common coin models
+// the coin-tossing subprotocols of [24, 6] and gives expected-constant
+// rounds; local coins give the classic almost-surely-terminating behaviour.
+//
+// Deciding parties participate through one extra round, which by the
+// standard argument suffices for all honest parties to decide and halt.
+//
+// With Simulation::Config::ideal_primitives the rounds are replaced by an
+// ideal-agreement gadget with the same interface (validity + agreement +
+// liveness once n-t parties joined).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/simulation.h"
+#include "util/small_set.h"
+
+namespace nampc {
+
+class Aba : public ProtocolInstance {
+ public:
+  using OutputFn = std::function<void(bool)>;
+
+  Aba(Party& party, std::string key, OutputFn on_output);
+
+  /// Joins the agreement with the given bit.
+  void start(bool input);
+
+  [[nodiscard]] bool has_output() const { return decided_.has_value(); }
+  [[nodiscard]] bool output() const {
+    NAMPC_REQUIRE(decided_.has_value(), "aba has no output yet");
+    return *decided_;
+  }
+  [[nodiscard]] int rounds_used() const { return round_; }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  enum MsgType { kPhase1 = 1, kPhase2 = 2, kPhase3 = 3 };
+  static constexpr int kNoCandidate = 2;  // phase-3 "no proposal" marker
+
+  void begin_round();
+  void try_advance();
+  [[nodiscard]] bool coin(int round);
+
+  OutputFn on_output_;
+  bool started_ = false;
+  bool value_ = false;
+  int round_ = 0;       // current round (1-based once started)
+  int phase_ = 0;       // 1..3 within the round
+  std::optional<bool> decided_;
+  int decided_round_ = -1;
+  bool halted_ = false;
+
+  // msgs_[{phase, round}] : sender -> value in {0,1,2}.
+  std::map<std::pair<int, int>, std::map<PartyId, int>> msgs_;
+};
+
+}  // namespace nampc

@@ -1,0 +1,67 @@
+#include "broadcast/acast.h"
+
+namespace nampc {
+
+Acast::Acast(Party& party, std::string key, PartyId sender, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)),
+      sender_(sender),
+      on_output_(std::move(on_output)),
+      threshold_(params().ts) {
+  metrics().acast_instances++;
+}
+
+void Acast::start(Words message) {
+  NAMPC_REQUIRE(my_id() == sender_, "only the sender starts an Acast");
+  send_all(kInit, message);
+}
+
+void Acast::on_message(const Message& msg) {
+  switch (msg.type) {
+    case kInit:
+      if (msg.from != sender_) return;  // only the sender may init
+      maybe_echo(msg.payload);
+      break;
+    case kEcho: {
+      PartySet& who = echoes_[msg.payload];
+      who.insert(msg.from);
+      if (who.size() >= n() - threshold_) {
+        maybe_ready(msg.payload);
+      }
+      break;
+    }
+    case kReady: {
+      PartySet& who = readies_[msg.payload];
+      who.insert(msg.from);
+      if (who.size() >= threshold_ + 1) {
+        maybe_ready(msg.payload);  // ready amplification
+      }
+      if (who.size() >= n() - threshold_) {
+        maybe_output(msg.payload);
+      }
+      break;
+    }
+    default:
+      break;  // unknown type: ignore (corrupt sender)
+  }
+}
+
+void Acast::maybe_echo(const Words& m) {
+  if (echoed_) return;
+  echoed_ = true;
+  send_all(kEcho, m);
+}
+
+void Acast::maybe_ready(const Words& m) {
+  if (readied_) return;
+  readied_ = true;
+  send_all(kReady, m);
+}
+
+void Acast::maybe_output(const Words& m) {
+  if (output_.has_value()) return;
+  output_ = m;
+  output_time_ = now();
+  if (on_output_) on_output_(*output_);
+}
+
+}  // namespace nampc

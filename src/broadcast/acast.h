@@ -1,0 +1,59 @@
+// Bracha's asynchronous reliable broadcast (Protocol 4.3, Lemma 4.4).
+//
+// One instance per (sender, topic). Every party constructs the instance as
+// a receiver; the sender's party additionally calls start(m). Properties
+// (for t < n/3, here t = ts = max(ts, ta)):
+//   synchronous: honest-sender liveness within 3Δ; validity; corrupt-sender
+//     consistency within 2Δ of the first honest output.
+//   asynchronous: eventual liveness/validity/consistency.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/simulation.h"
+#include "util/small_set.h"
+
+namespace nampc {
+
+class Acast : public ProtocolInstance {
+ public:
+  using OutputFn = std::function<void(const Words&)>;
+
+  Acast(Party& party, std::string key, PartyId sender, OutputFn on_output);
+
+  /// Sender-side entry point.
+  void start(Words message);
+
+  [[nodiscard]] PartyId sender() const { return sender_; }
+  [[nodiscard]] bool has_output() const { return output_.has_value(); }
+  [[nodiscard]] const Words& output() const {
+    NAMPC_REQUIRE(output_.has_value(), "acast has no output yet");
+    return *output_;
+  }
+  /// Virtual time at which this party produced its output.
+  [[nodiscard]] Time output_time() const { return output_time_; }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  enum MsgType { kInit = 1, kEcho = 2, kReady = 3 };
+
+  void maybe_echo(const Words& m);
+  void maybe_ready(const Words& m);
+  void maybe_output(const Words& m);
+
+  PartyId sender_;
+  OutputFn on_output_;
+  int threshold_;  // t = ts
+  bool echoed_ = false;
+  bool readied_ = false;
+  std::optional<Words> output_;
+  Time output_time_ = -1;
+  // Per candidate message value: who echoed / readied it.
+  std::map<Words, PartySet> echoes_;
+  std::map<Words, PartySet> readies_;
+};
+
+}  // namespace nampc

@@ -1,0 +1,62 @@
+#include "broadcast/ba.h"
+
+namespace nampc {
+
+Ba::Ba(Party& party, std::string key, Time nominal_start, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)),
+      nominal_start_(nominal_start),
+      on_output_(std::move(on_output)) {
+  bcs_.reserve(static_cast<std::size_t>(n()));
+  for (int j = 0; j < n(); ++j) {
+    bcs_.push_back(&make_child<Bc>("bc" + std::to_string(j), j, nominal_start_,
+                                   nullptr));
+  }
+  aba_ = &make_child<Aba>("aba", [this](bool v) {
+    if (on_output_) on_output_(v);
+  });
+  // Join the ABA once the BC layer has concluded AND this party has joined
+  // the BA. (Parties may join late in the asynchronous network — the ACS
+  // marks slots dynamically; see Protocol 4.9.)
+  at(nominal_start_ + timing().t_bc, [this] {
+    timer_fired_ = true;
+    if (started_) at_aba_start();
+  });
+}
+
+void Ba::start(bool input) {
+  NAMPC_REQUIRE(!started_, "ba started twice");
+  started_ = true;
+  input_ = input;
+  Writer w;
+  w.boolean(input);
+  bcs_[static_cast<std::size_t>(my_id())]->start(std::move(w).take());
+  if (timer_fired_) at_aba_start();
+}
+
+void Ba::on_message(const Message& msg) { (void)msg; }
+
+void Ba::at_aba_start() {
+  if (aba_joined_) return;
+  aba_joined_ = true;
+  // Plurality rule of Protocol 4.7 over regular-mode outputs.
+  int ones = 0;
+  int zeros = 0;
+  for (int j = 0; j < n(); ++j) {
+    const auto& out = bcs_[static_cast<std::size_t>(j)]->regular_output();
+    if (!out.has_value()) continue;
+    try {
+      Reader r(*out);
+      const bool b = r.boolean();
+      (b ? ones : zeros)++;
+    } catch (const DecodeError&) {
+      // Malformed broadcast counts as ⊥.
+    }
+  }
+  bool v = input_;
+  if (ones + zeros >= n() - params().ts) {
+    v = ones >= zeros;  // no-majority ties resolve to 1
+  }
+  aba_->start(v);
+}
+
+}  // namespace nampc

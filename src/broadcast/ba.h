@@ -1,0 +1,47 @@
+// Network-agnostic Byzantine agreement Π_BA (Protocol 4.7, Lemma 4.8).
+//
+// Each party broadcasts its input bit via Π_BC; at nominal_start + T_BC it
+// derives an ABA input from the plurality of regular-mode outputs and joins
+// Π_ABA. Synchronous: SBA-grade agreement by T_BA = T_BC + T_ABA.
+// Asynchronous: almost-surely terminating ABA-grade agreement.
+//
+// Like Π_BC this is a timed primitive: all parties construct it with the
+// same nominal start time and call start() then.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "broadcast/aba.h"
+#include "broadcast/bc.h"
+
+namespace nampc {
+
+class Ba : public ProtocolInstance {
+ public:
+  using OutputFn = std::function<void(bool)>;
+
+  Ba(Party& party, std::string key, Time nominal_start, OutputFn on_output);
+
+  /// Joins with this party's input bit; call at nominal_start.
+  void start(bool input);
+
+  [[nodiscard]] bool has_output() const { return aba_->has_output(); }
+  [[nodiscard]] bool output() const { return aba_->output(); }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  void at_aba_start();
+
+  Time nominal_start_;
+  OutputFn on_output_;
+  bool input_ = false;
+  bool started_ = false;
+  bool timer_fired_ = false;
+  bool aba_joined_ = false;
+  std::vector<Bc*> bcs_;
+  Aba* aba_ = nullptr;
+};
+
+}  // namespace nampc

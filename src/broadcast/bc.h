@@ -1,0 +1,68 @@
+// Network-agnostic Byzantine broadcast Π_BC (Protocol 4.5, Lemma 4.6).
+//
+// Composition: the sender Acasts m; at nominal_start + 3Δ every party feeds
+// its Acast output (or ⊥) into Π_SBA; at nominal_start + T_BC the regular
+// output is m' if both Acast and SBA yielded m', else ⊥. Parties whose
+// regular output is ⊥ upgrade to the Acast output if it arrives later
+// (fallback mode).
+//
+// Π_BC is inherently a *timed* primitive: every party must construct it
+// with the same nominal start time (all uses in the paper are at designated
+// protocol times). Action-based "broadcasts" of the asynchronous code paths
+// use Acast directly, exactly as in [3].
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "broadcast/acast.h"
+#include "broadcast/sba.h"
+
+namespace nampc {
+
+enum class BcPhase { regular, fallback };
+
+class Bc : public ProtocolInstance {
+ public:
+  /// Called once at T_BC with the regular output (nullopt = ⊥), and at most
+  /// once more with the fallback value.
+  using OutputFn = std::function<void(const std::optional<Words>&, BcPhase)>;
+
+  Bc(Party& party, std::string key, PartyId sender, Time nominal_start,
+     OutputFn on_output);
+
+  /// Sender-side: must be called at nominal_start.
+  void start(Words message);
+
+  [[nodiscard]] PartyId sender() const { return sender_; }
+  [[nodiscard]] bool regular_done() const { return regular_done_; }
+  /// Output of regular mode (valid once regular_done()); nullopt = ⊥.
+  [[nodiscard]] const std::optional<Words>& regular_output() const {
+    return regular_output_;
+  }
+  /// Regular output if non-⊥, otherwise the fallback value if it arrived.
+  [[nodiscard]] const std::optional<Words>& current_output() const {
+    return current_;
+  }
+  /// Time this party first obtained a non-⊥ value (or -1).
+  [[nodiscard]] Time value_time() const { return value_time_; }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  void at_sba_start();
+  void at_regular_output();
+  void on_acast_output();
+
+  PartyId sender_;
+  Time nominal_start_;
+  OutputFn on_output_;
+  Acast* acast_ = nullptr;
+  Sba* sba_ = nullptr;
+  bool regular_done_ = false;
+  std::optional<Words> regular_output_;
+  std::optional<Words> current_;
+  Time value_time_ = -1;
+};
+
+}  // namespace nampc

@@ -1,0 +1,182 @@
+#include "broadcast/sba.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nampc {
+
+bool sba_value_less(const SbaValue& a, const SbaValue& b) {
+  if (a.has_value() != b.has_value()) return !a.has_value();
+  if (!a.has_value()) return false;
+  return *a < *b;
+}
+
+namespace {
+
+/// Shared state of the ideal-agreement functionality (ideal_primitives mode).
+struct IdealSbaGadget {
+  std::map<PartyId, SbaValue> inputs;
+
+  /// Deterministic agreement rule over the honest inputs: most frequent
+  /// value, ties broken towards the smaller value. Realises validity
+  /// (unanimous honest input wins) and consistency by construction.
+  [[nodiscard]] SbaValue decide(const PartySet& corrupt) const {
+    std::vector<std::pair<SbaValue, int>> tally;
+    for (const auto& [id, v] : inputs) {
+      if (corrupt.contains(id)) continue;
+      bool found = false;
+      for (auto& [tv, count] : tally) {
+        if (tv == v) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) tally.emplace_back(v, 1);
+    }
+    SbaValue best;  // ⊥ when no honest input registered
+    int best_count = 0;
+    for (const auto& [tv, count] : tally) {
+      if (count > best_count ||
+          (count == best_count && sba_value_less(tv, best))) {
+        best = tv;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+Sba::Sba(Party& party, std::string key, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)), on_output_(std::move(on_output)) {}
+
+Words Sba::encode_value(const SbaValue& v) {
+  Writer w;
+  w.boolean(v.has_value());
+  w.vec(v.has_value() ? *v : Words{});
+  return std::move(w).take();
+}
+
+SbaValue Sba::decode_value(const Words& payload) {
+  Reader r(payload);
+  const bool present = r.boolean();
+  Words body = r.vec();
+  if (!present) return std::nullopt;
+  return body;
+}
+
+void Sba::start(SbaValue input) {
+  NAMPC_REQUIRE(!started_, "sba started twice");
+  started_ = true;
+  start_time_ = now();
+  value_ = std::move(input);
+
+  if (sim().config().ideal_primitives) {
+    auto& gadget = sim().shared_state<IdealSbaGadget>(
+        "sba:" + key(), [] { return new IdealSbaGadget(); });
+    gadget.inputs.emplace(my_id(), value_);
+    at(
+        start_time_ + timing().t_sba,
+        [this, &gadget] {
+          if (sim().kind() == NetworkKind::synchronous) {
+            output_ = gadget.decide(sim().adversary().corrupt_set());
+          } else {
+            output_ = value_;  // async: Π_BC relies on Acast, not on Π_SBA
+          }
+          finish();
+        },
+        /*klass=*/1);
+    return;
+  }
+
+  for (int phase = 0; phase <= params().ts; ++phase) {
+    const Time phase_start = start_time_ + 2 * phase * timing().delta;
+    at(phase_start, [this, phase] { run_exchange(phase); }, /*klass=*/1);
+    at(
+        phase_start + timing().delta,
+        [this, phase] { tally_exchange(phase); }, /*klass=*/1);
+    at(
+        phase_start + 2 * timing().delta,
+        [this, phase] { conclude_phase(phase); }, /*klass=*/1);
+  }
+  at(
+      start_time_ + timing().t_sba,
+      [this] {
+        output_ = value_;
+        finish();
+      },
+      /*klass=*/1);
+}
+
+void Sba::run_exchange(int phase) {
+  Writer w;
+  w.u64(static_cast<std::uint64_t>(phase));
+  const Words val = encode_value(value_);
+  w.vec(val);
+  send_all(kExchange, std::move(w).take());
+}
+
+void Sba::on_message(const Message& msg) {
+  Reader r(msg.payload);
+  const int phase = static_cast<int>(r.u64());
+  if (phase < 0 || phase > params().ts) return;
+  const SbaValue v = decode_value(r.vec());
+  if (msg.type == kExchange) {
+    exchange_msgs_.emplace(std::make_pair(phase, msg.from), v);
+  } else if (msg.type == kKing) {
+    if (msg.from != phase % n()) return;  // only the phase king may speak
+    king_msgs_.emplace(phase, v);
+  }
+}
+
+void Sba::tally_exchange(int phase) {
+  // Most frequent value among this phase's exchange messages.
+  std::vector<std::pair<SbaValue, int>> tally;
+  for (const auto& [key_pair, v] : exchange_msgs_) {
+    if (key_pair.first != phase) continue;
+    bool found = false;
+    for (auto& [tv, count] : tally) {
+      if (tv == v) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) tally.emplace_back(v, 1);
+  }
+  phase_majority_ = std::nullopt;
+  phase_majority_count_ = 0;
+  for (const auto& [tv, count] : tally) {
+    if (count > phase_majority_count_ ||
+        (count == phase_majority_count_ && sba_value_less(tv, phase_majority_))) {
+      phase_majority_ = tv;
+      phase_majority_count_ = count;
+    }
+  }
+  // King round: the phase king announces its majority.
+  if (my_id() == phase % n()) {
+    Writer w;
+    w.u64(static_cast<std::uint64_t>(phase));
+    w.vec(encode_value(phase_majority_));
+    send_all(kKing, std::move(w).take());
+  }
+}
+
+void Sba::conclude_phase(int phase) {
+  if (phase_majority_count_ >= n() - params().ts) {
+    value_ = phase_majority_;
+  } else {
+    const auto it = king_msgs_.find(phase);
+    value_ = it != king_msgs_.end() ? it->second : std::nullopt;
+  }
+}
+
+void Sba::finish() {
+  if (done_) return;
+  done_ = true;
+  if (on_output_) on_output_(output_);
+}
+
+}  // namespace nampc

@@ -1,0 +1,117 @@
+#include "circuit/circuit.h"
+
+namespace nampc {
+
+int Circuit::push(Gate g, int lvl) {
+  gates_.push_back(g);
+  levels_.push_back(lvl);
+  if (lvl > max_level_) max_level_ = lvl;
+  return num_wires() - 1;
+}
+
+int Circuit::input(int party) {
+  NAMPC_REQUIRE(party >= 0, "input owner must be a party id");
+  Gate g;
+  g.op = GateOp::input;
+  g.owner = party;
+  g.input_index = inputs_per_party_[party]++;
+  return push(g, 0);
+}
+
+int Circuit::constant(Fp value) {
+  Gate g;
+  g.op = GateOp::constant;
+  g.c = value;
+  return push(g, 0);
+}
+
+int Circuit::binary(GateOp op, int a, int b) {
+  check_wire(a);
+  check_wire(b);
+  Gate g;
+  g.op = op;
+  g.a = a;
+  g.b = b;
+  return push(g, std::max(level(a), level(b)));
+}
+
+int Circuit::mul(int a, int b) {
+  check_wire(a);
+  check_wire(b);
+  Gate g;
+  g.op = GateOp::mul;
+  g.a = a;
+  g.b = b;
+  ++num_mult_;
+  return push(g, std::max(level(a), level(b)) + 1);
+}
+
+int Circuit::cmul(Fp c, int a) {
+  check_wire(a);
+  Gate g;
+  g.op = GateOp::cmul;
+  g.a = a;
+  g.c = c;
+  return push(g, level(a));
+}
+
+int Circuit::cadd(Fp c, int a) {
+  check_wire(a);
+  Gate g;
+  g.op = GateOp::cadd;
+  g.a = a;
+  g.c = c;
+  return push(g, level(a));
+}
+
+void Circuit::mark_output(int wire, int owner) {
+  check_wire(wire);
+  NAMPC_REQUIRE(owner >= -1, "bad output owner");
+  outputs_.push_back(wire);
+  output_owners_.push_back(owner);
+}
+
+FpVec Circuit::eval_plain(const std::map<int, FpVec>& inputs) const {
+  FpVec values(gates_.size());
+  for (std::size_t w = 0; w < gates_.size(); ++w) {
+    const Gate& g = gates_[w];
+    switch (g.op) {
+      case GateOp::input: {
+        const auto it = inputs.find(g.owner);
+        const Fp v = (it != inputs.end() &&
+                      g.input_index < static_cast<int>(it->second.size()))
+                         ? it->second[static_cast<std::size_t>(g.input_index)]
+                         : Fp(0);
+        values[w] = v;
+        break;
+      }
+      case GateOp::constant:
+        values[w] = g.c;
+        break;
+      case GateOp::add:
+        values[w] = values[static_cast<std::size_t>(g.a)] +
+                    values[static_cast<std::size_t>(g.b)];
+        break;
+      case GateOp::sub:
+        values[w] = values[static_cast<std::size_t>(g.a)] -
+                    values[static_cast<std::size_t>(g.b)];
+        break;
+      case GateOp::cmul:
+        values[w] = g.c * values[static_cast<std::size_t>(g.a)];
+        break;
+      case GateOp::cadd:
+        values[w] = g.c + values[static_cast<std::size_t>(g.a)];
+        break;
+      case GateOp::mul:
+        values[w] = values[static_cast<std::size_t>(g.a)] *
+                    values[static_cast<std::size_t>(g.b)];
+        break;
+    }
+  }
+  FpVec out;
+  out.reserve(outputs_.size());
+  for (int w : outputs_) out.push_back(values[static_cast<std::size_t>(w)]);
+  return out;
+}
+
+}  // namespace nampc

@@ -1,0 +1,61 @@
+// Resiliency bounds (Theorem 1.1) and comparisons with prior work.
+//
+// Main result: perfectly-secure network-agnostic MPC tolerating ts
+// (synchronous) / ta (asynchronous) corruptions exists iff
+//     n > 2·max(ts, ta) + max(2·ta, ts).
+// Regimes (for ta <= ts; ta > ts reduces to pure-async n > 4ta):
+//   * ts <= ta       : n > 4·ta            (BCG'93 asynchronous bound)
+//   * ta < ts <= 2ta : n > 2·ts + 2·ta     (the genuinely new bound)
+//   * 2ta < ts       : n > 3·ts            (synchronous BGW bound is tight)
+// Prior work (Appan-Chandramouli-Choudhury, PODC'22) required n > 3ts + ta.
+#pragma once
+
+#include "net/time.h"
+
+namespace nampc {
+
+/// Which side of the paper's trichotomy (ts, ta) falls in.
+enum class ResiliencyRegime {
+  pure_async,    ///< ts <= ta: n > 4ta, asynchronous protocols suffice
+  mixed,         ///< ta < ts <= 2ta: n > 2ts + 2ta (new bound)
+  sync_limited,  ///< ts > 2ta: n > 3ts (synchronous bound binds)
+};
+
+[[nodiscard]] constexpr ResiliencyRegime regime(int ts, int ta) {
+  if (ts <= ta) return ResiliencyRegime::pure_async;
+  if (ts <= 2 * ta) return ResiliencyRegime::mixed;
+  return ResiliencyRegime::sync_limited;
+}
+
+/// Theorem 1.1 feasibility: n > 2·max(ts,ta) + max(2ta, ts).
+[[nodiscard]] constexpr bool feasible(int n, int ts, int ta) {
+  const int m1 = ts > ta ? ts : ta;
+  const int m2 = 2 * ta > ts ? 2 * ta : ts;
+  return n > 2 * m1 + m2;
+}
+
+/// Minimal n admitting (ts, ta) under this paper's bound.
+[[nodiscard]] constexpr int min_parties(int ts, int ta) {
+  const int m1 = ts > ta ? ts : ta;
+  const int m2 = 2 * ta > ts ? 2 * ta : ts;
+  return 2 * m1 + m2 + 1;
+}
+
+/// Minimal n under the prior bound n > 3ts + ta of [ACC, PODC'22]
+/// (stated for ts >= ta; for ts < ta the asynchronous bound applies).
+[[nodiscard]] constexpr int min_parties_prior(int ts, int ta) {
+  if (ts < ta) return 4 * ta + 1;
+  return 3 * ts + ta + 1;
+}
+
+/// Maximal ts tolerable with n parties given ta (or -1 if none), under this
+/// paper's bound.
+[[nodiscard]] constexpr int max_ts(int n, int ta) {
+  int best = -1;
+  for (int ts = ta; ts < n; ++ts) {
+    if (feasible(n, ts, ta)) best = ts;
+  }
+  return best;
+}
+
+}  // namespace nampc

@@ -1,0 +1,43 @@
+// Umbrella header: the public API of the nampc library.
+//
+// Quickstart:
+//
+//   #include "core/nampc.h"
+//   using namespace nampc;
+//
+//   Circuit c;                         // x0 * x1 + x2
+//   int x0 = c.input(0), x1 = c.input(1), x2 = c.input(2);
+//   c.mark_output(c.add(c.mul(x0, x1), x2));
+//
+//   Simulation::Config cfg;
+//   cfg.params = {7, 2, 1};            // n=7, ts=2, ta=1 (optimal bound!)
+//   cfg.kind = NetworkKind::synchronous;   // parties don't know this
+//   Simulation sim(cfg, std::make_shared<Adversary>());
+//   std::vector<Mpc*> nodes;
+//   for (int i = 0; i < 7; ++i)
+//     nodes.push_back(&sim.party(i).spawn<Mpc>("mpc", c,
+//                     FpVec{Fp(10 + i)}, nullptr));
+//   sim.run();
+//   Fp result = nodes[0]->output()[0];
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+#pragma once
+
+#include "acs/acs.h"
+#include "adversary/scripted.h"
+#include "broadcast/acast.h"
+#include "broadcast/ba.h"
+#include "broadcast/bc.h"
+#include "circuit/circuit.h"
+#include "core/bounds.h"
+#include "field/fp.h"
+#include "graph/graph.h"
+#include "mpc/mpc.h"
+#include "net/simulation.h"
+#include "poly/bivariate.h"
+#include "poly/polynomial.h"
+#include "rs/reed_solomon.h"
+#include "sharing/vss.h"
+#include "sharing/wss.h"
+#include "triples/triple_ext.h"
+#include "triples/vts.h"

@@ -1,0 +1,40 @@
+#include "field/fp.h"
+
+#include <ostream>
+
+namespace nampc {
+
+Fp Fp::pow(Fp a, std::uint64_t e) {
+  Fp result(1);
+  Fp base = a;
+  while (e != 0) {
+    if (e & 1u) result *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, Fp x) { return os << x.value(); }
+
+FpVec add(const FpVec& a, const FpVec& b) {
+  NAMPC_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  FpVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+FpVec sub(const FpVec& a, const FpVec& b) {
+  NAMPC_REQUIRE(a.size() == b.size(), "vector size mismatch");
+  FpVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+FpVec scale(Fp c, const FpVec& a) {
+  FpVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = c * a[i];
+  return out;
+}
+
+}  // namespace nampc

@@ -1,0 +1,107 @@
+// Prime field F_p with p = 2^61 - 1 (a Mersenne prime).
+//
+// The paper's protocols work over any field with |F| > n; we pick a 61-bit
+// Mersenne prime so that multiplication reduces with two adds and secrets
+// fit in one 64-bit word. Evaluation points for party P_i are the field
+// elements 1..n (never 0, which is reserved for the secret), matching §3.1.
+//
+// Fp is a value type with the usual operator set; all operations are
+// constant-time-ish straight-line code (no branches on secret data except
+// inversion, which is exponentiation by a public constant).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace nampc {
+
+/// An element of F_p, p = 2^61 - 1.
+class Fp {
+ public:
+  static constexpr std::uint64_t kPrime = (1ull << 61) - 1;
+
+  constexpr Fp() = default;
+
+  /// Reduces any 64-bit value into the field.
+  constexpr explicit Fp(std::uint64_t v) : v_(reduce64(v)) {}
+
+  /// Convenience for small signed literals (e.g. Fp::from_int(-1)).
+  static constexpr Fp from_int(std::int64_t v) {
+    if (v >= 0) return Fp(static_cast<std::uint64_t>(v));
+    const std::uint64_t mag = reduce64(static_cast<std::uint64_t>(-v));
+    return Fp(mag == 0 ? 0 : kPrime - mag);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+  [[nodiscard]] constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;
+    if (s >= kPrime) s -= kPrime;
+    return from_raw(s);
+  }
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    return from_raw(a.v_ >= b.v_ ? a.v_ - b.v_ : a.v_ + kPrime - b.v_);
+  }
+  friend constexpr Fp operator-(Fp a) {
+    return from_raw(a.v_ == 0 ? 0 : kPrime - a.v_);
+  }
+  friend constexpr Fp operator*(Fp a, Fp b) {
+    __extension__ using u128 = unsigned __int128;
+    const u128 prod = static_cast<u128>(a.v_) * b.v_;
+    // Mersenne reduction: x = hi*2^61 + lo ≡ hi + lo (mod 2^61 - 1).
+    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
+    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kPrime) s -= kPrime;
+    return from_raw(s);
+  }
+
+  Fp& operator+=(Fp o) { return *this = *this + o; }
+  Fp& operator-=(Fp o) { return *this = *this - o; }
+  Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  friend constexpr bool operator==(Fp a, Fp b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Fp a, Fp b) { return a.v_ != b.v_; }
+  /// Ordering is by representative; used only for deterministic containers.
+  friend constexpr bool operator<(Fp a, Fp b) { return a.v_ < b.v_; }
+
+  /// a^e by square-and-multiply (e is public).
+  [[nodiscard]] static Fp pow(Fp a, std::uint64_t e);
+
+  /// Multiplicative inverse; requires non-zero.
+  [[nodiscard]] Fp inverse() const {
+    NAMPC_REQUIRE(v_ != 0, "inverse of zero");
+    return pow(*this, kPrime - 2);
+  }
+
+  friend Fp operator/(Fp a, Fp b) { return a * b.inverse(); }
+
+ private:
+  static constexpr Fp from_raw(std::uint64_t v) {
+    Fp x;
+    x.v_ = v;
+    return x;
+  }
+  static constexpr std::uint64_t reduce64(std::uint64_t v) {
+    std::uint64_t s = (v & kPrime) + (v >> 61);
+    if (s >= kPrime) s -= kPrime;
+    return s;
+  }
+
+  std::uint64_t v_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Fp x);
+
+using FpVec = std::vector<Fp>;
+
+/// Element-wise helpers used by share-vector arithmetic.
+[[nodiscard]] FpVec add(const FpVec& a, const FpVec& b);
+[[nodiscard]] FpVec sub(const FpVec& a, const FpVec& b);
+[[nodiscard]] FpVec scale(Fp c, const FpVec& a);
+
+}  // namespace nampc

@@ -1,0 +1,257 @@
+#include "graph/graph.h"
+
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace nampc {
+
+Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
+  NAMPC_REQUIRE(n >= 0 && n <= 24, "graph supports up to 24 vertices");
+}
+
+void Graph::add_edge(int u, int v) {
+  NAMPC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v, "bad edge");
+  adj_[static_cast<std::size_t>(u)].insert(v);
+  adj_[static_cast<std::size_t>(v)].insert(u);
+}
+
+void Graph::remove_edge(int u, int v) {
+  NAMPC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "bad edge");
+  adj_[static_cast<std::size_t>(u)].erase(v);
+  adj_[static_cast<std::size_t>(v)].erase(u);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  return u >= 0 && u < n_ && adj_[static_cast<std::size_t>(u)].contains(v);
+}
+
+Graph Graph::complement() const {
+  Graph g(n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (!has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+bool Graph::is_clique(PartySet s) const {
+  const auto members = s.to_vector();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!has_edge(members[i], members[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::edges_subset_of(const Graph& other) const {
+  if (other.n_ < n_) return false;
+  for (int u = 0; u < n_; ++u) {
+    if (!adj_[static_cast<std::size_t>(u)].subset_of(
+            other.adj_[static_cast<std::size_t>(u)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Graph::encode(Writer& w) const {
+  w.u64(static_cast<std::uint64_t>(n_));
+  for (const PartySet& row : adj_) w.u64(row.mask());
+}
+
+Graph Graph::decode(Reader& r) {
+  const auto n = static_cast<int>(r.u64());
+  if (n < 0 || n > 24) throw DecodeError("bad graph size");
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    const PartySet row{r.u64()};
+    for (int v : row.to_vector()) {
+      if (v >= n || v == u) throw DecodeError("bad adjacency row");
+      if (v > u) g.add_edge(u, v);
+      else if (!g.has_edge(u, v)) throw DecodeError("asymmetric adjacency");
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Exact maximum-matching size on the vertex subset `mask`, memoised.
+int matching_size(const Graph& g, std::uint64_t mask,
+                  std::unordered_map<std::uint64_t, int>& memo) {
+  if (mask == 0) return 0;
+  const auto it = memo.find(mask);
+  if (it != memo.end()) return it->second;
+  const int v = __builtin_ctzll(mask);
+  // Option 1: leave v unmatched.
+  int best = matching_size(g, mask & ~(1ull << v), memo);
+  // Option 2: match v with an available neighbour.
+  const std::uint64_t nbrs = g.neighbors(v).mask() & mask;
+  std::uint64_t m = nbrs;
+  while (m != 0) {
+    const int u = __builtin_ctzll(m);
+    m &= m - 1;
+    const int cand =
+        1 + matching_size(g, mask & ~(1ull << v) & ~(1ull << u), memo);
+    if (cand > best) best = cand;
+  }
+  memo.emplace(mask, best);
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> maximum_matching(const Graph& g) {
+  std::unordered_map<std::uint64_t, int> memo;
+  std::uint64_t mask = PartySet::full(g.size()).mask();
+  std::vector<std::pair<int, int>> matching;
+  // Greedy reconstruction: repeatedly commit the choice that preserves the
+  // optimum.
+  while (mask != 0) {
+    const int v = __builtin_ctzll(mask);
+    const int best = matching_size(g, mask, memo);
+    if (matching_size(g, mask & ~(1ull << v), memo) == best) {
+      mask &= ~(1ull << v);
+      continue;
+    }
+    std::uint64_t m = g.neighbors(v).mask() & mask;
+    bool committed = false;
+    while (m != 0) {
+      const int u = __builtin_ctzll(m);
+      m &= m - 1;
+      const std::uint64_t next = mask & ~(1ull << v) & ~(1ull << u);
+      if (1 + matching_size(g, next, memo) == best) {
+        matching.emplace_back(v, u);
+        mask = next;
+        committed = true;
+        break;
+      }
+    }
+    NAMPC_ASSERT(committed, "matching reconstruction failed");
+  }
+  return matching;
+}
+
+std::optional<StarResult> find_star(const Graph& g, int t) {
+  const int n = g.size();
+  const Graph gc = g.complement();
+
+  // 1. Maximum matching M in the complement; N = matched vertices.
+  const auto m_edges = maximum_matching(gc);
+  PartySet matched;
+  for (const auto& [u, v] : m_edges) {
+    matched.insert(u);
+    matched.insert(v);
+  }
+  const PartySet unmatched = PartySet::full(n).minus(matched);
+
+  // 2. Triangle-heads: unmatched vertices adjacent (in the complement) to
+  //    both endpoints of some matching edge.
+  PartySet triangle_heads;
+  for (int i : unmatched.to_vector()) {
+    for (const auto& [j, k] : m_edges) {
+      if (gc.has_edge(i, j) && gc.has_edge(i, k)) {
+        triangle_heads.insert(i);
+        break;
+      }
+    }
+  }
+  const PartySet c = unmatched.minus(triangle_heads);
+
+  // 3. B = matched vertices with complement-neighbours in C; D = rest.
+  PartySet b;
+  for (int j : matched.to_vector()) {
+    if (!gc.neighbors(j).intersect(c).empty()) b.insert(j);
+  }
+  const PartySet d = PartySet::full(n).minus(b);
+
+  if (c.size() < n - 2 * t || d.size() < n - t) return std::nullopt;
+
+  // 4. Extended star of [26]: E = vertices adjacent (in g) to at least
+  //    n-2t members of C; F = vertices adjacent to at least n-2t of E.
+  PartySet e_set;
+  for (int i = 0; i < n; ++i) {
+    if (g.neighbors(i).intersect(c).size() >= n - 2 * t) e_set.insert(i);
+  }
+  PartySet f_set;
+  for (int i = 0; i < n; ++i) {
+    if (g.neighbors(i).intersect(e_set).size() >= n - 2 * t) f_set.insert(i);
+  }
+
+  const bool extended = e_set.size() >= n - t && f_set.size() >= n - t;
+  return StarResult{c, d, e_set, f_set, extended};
+}
+
+namespace {
+
+/// Bron-Kerbosch with pivoting over bitmask sets.
+void bron_kerbosch(const Graph& g, std::uint64_t r, std::uint64_t p,
+                   std::uint64_t x, PartySet& best) {
+  if (p == 0 && x == 0) {
+    if (__builtin_popcountll(r) > best.size()) best = PartySet(r);
+    return;
+  }
+  // Prune: even taking all of p cannot beat best.
+  if (__builtin_popcountll(r) + __builtin_popcountll(p) <=
+      best.size()) {
+    return;
+  }
+  // Pivot: vertex in p|x maximising neighbours in p.
+  const std::uint64_t px = p | x;
+  int pivot = -1;
+  int pivot_deg = -1;
+  std::uint64_t scan = px;
+  while (scan != 0) {
+    const int u = __builtin_ctzll(scan);
+    scan &= scan - 1;
+    const int deg = __builtin_popcountll(g.neighbors(u).mask() & p);
+    if (deg > pivot_deg) {
+      pivot_deg = deg;
+      pivot = u;
+    }
+  }
+  std::uint64_t candidates = p & ~g.neighbors(pivot).mask();
+  while (candidates != 0) {
+    const int v = __builtin_ctzll(candidates);
+    candidates &= candidates - 1;
+    const std::uint64_t nv = g.neighbors(v).mask();
+    bron_kerbosch(g, r | (1ull << v), p & nv, x & nv, best);
+    p &= ~(1ull << v);
+    x |= (1ull << v);
+  }
+}
+
+}  // namespace
+
+PartySet maximum_clique(const Graph& g) {
+  PartySet best;
+  bron_kerbosch(g, 0, PartySet::full(g.size()).mask(), 0, best);
+  return best;
+}
+
+std::optional<PartySet> find_clique_including(const Graph& g,
+                                              PartySet must_include,
+                                              int target, PartySet exclude) {
+  NAMPC_REQUIRE(must_include.intersect(exclude).empty(),
+                "must_include and exclude overlap");
+  if (!g.is_clique(must_include)) return std::nullopt;
+
+  // Candidates: common neighbours of everything in must_include, minus
+  // exclusions.
+  std::uint64_t candidates =
+      PartySet::full(g.size()).minus(must_include).minus(exclude).mask();
+  for (int u : must_include.to_vector()) {
+    candidates &= g.neighbors(u).mask();
+  }
+
+  PartySet best;
+  bron_kerbosch(g, 0, candidates, 0, best);
+  const PartySet result = best.union_with(must_include);
+  if (result.size() >= target) return result;
+  return std::nullopt;
+}
+
+}  // namespace nampc

@@ -1,0 +1,195 @@
+#include "lowerbound/lowerbound.h"
+
+#include "adversary/scripted.h"
+#include "net/simulation.h"
+
+namespace nampc {
+
+namespace {
+
+/// The candidate 4-party protocol of the reduction. P1 (id 0) and P2
+/// (id 1) hold input bits; P3 (id 2) and P4 (id 3) are relays. Each input
+/// holder sends its bit to everyone; relays forward what they received.
+/// An input holder that cannot hear its peer directly (the Case-II
+/// schedule) must terminate on the relayed claims alone, resolving
+/// conflicts with the protocol's tie-break rule.
+class RelayAnd : public ProtocolInstance {
+ public:
+  RelayAnd(Party& party, std::string key, TieBreak rule)
+      : ProtocolInstance(party, std::move(key)), rule_(rule) {}
+
+  void start(bool input) {
+    input_ = input;
+    if (my_id() <= 1) {
+      Writer w;
+      w.boolean(input);
+      send_all(kInput, std::move(w).take());
+    }
+  }
+
+  [[nodiscard]] bool has_output() const { return output_.has_value(); }
+  [[nodiscard]] bool output() const { return output_.value(); }
+
+  void on_message(const Message& msg) override {
+    Reader r(msg.payload);
+    if (msg.type == kInput) {
+      const bool bit = r.boolean();
+      if (msg.from > 1) return;  // only input holders originate
+      note_claim(msg.from, msg.from, bit);
+      if (my_id() >= 2) {
+        // Relay: forward (origin, bit) to the input holders.
+        Writer w;
+        w.u64(static_cast<std::uint64_t>(msg.from));
+        w.boolean(bit);
+        send(0, kRelay, w.words());
+        send(1, kRelay, std::move(w).take());
+      }
+    } else if (msg.type == kRelay) {
+      if (msg.from < 2) return;  // only relays relay
+      const int origin = static_cast<int>(r.u64());
+      const bool bit = r.boolean();
+      if (origin > 1) return;
+      note_claim(msg.from, origin, bit);
+    }
+    maybe_decide();
+  }
+
+ private:
+  enum MsgType { kInput = 1, kRelay = 2 };
+
+  void note_claim(PartyId via, int origin, bool bit) {
+    claims_[{via, origin}] = bit;
+  }
+
+  void maybe_decide() {
+    if (output_.has_value() || my_id() > 1) return;
+    const int peer = 1 - my_id();
+    // Direct copy wins immediately.
+    const auto direct = claims_.find({peer, peer});
+    if (direct != claims_.end()) {
+      output_ = input_ && direct->second;
+      return;
+    }
+    // Otherwise both relays must have spoken (the protocol cannot wait for
+    // the direct channel forever — asynchronous termination requirement).
+    const auto via3 = claims_.find({2, peer});
+    const auto via4 = claims_.find({3, peer});
+    if (via3 == claims_.end() || via4 == claims_.end()) return;
+    bool peer_bit = false;
+    if (via3->second == via4->second) {
+      peer_bit = via3->second;
+    } else {
+      switch (rule_) {
+        case TieBreak::trust_p3: peer_bit = via3->second; break;
+        case TieBreak::trust_p4: peer_bit = via4->second; break;
+        case TieBreak::assume_zero: peer_bit = false; break;
+        case TieBreak::assume_one: peer_bit = true; break;
+      }
+    }
+    output_ = input_ && peer_bit;
+  }
+
+  TieBreak rule_;
+  bool input_ = false;
+  std::map<std::pair<PartyId, int>, bool> claims_;
+  std::optional<bool> output_;
+};
+
+}  // namespace
+
+AttackOutcome run_partition_attack(bool x1, bool x2, TieBreak rule,
+                                   int corrupt_relay, bool lie_to_p2,
+                                   std::uint64_t seed) {
+  NAMPC_REQUIRE(corrupt_relay == 2 || corrupt_relay == 3,
+                "corrupt relay must be P3 (2) or P4 (3)");
+  // n = 2ts + 2ta with ts = ta = 1: exactly the infeasible boundary.
+  Simulation::Config cfg;
+  cfg.params = {4, 1, 1};
+  cfg.kind = NetworkKind::asynchronous;
+  cfg.seed = seed;
+  cfg.allow_infeasible = true;
+
+  auto adv = std::make_shared<ScriptedAdversary>(
+      PartySet::of({corrupt_relay}));
+  // Case II schedule: all P1 <-> P2 traffic delayed past the horizon.
+  adv->delay_between(PartySet::of({0}), PartySet::of({1}), kFarFuture);
+  // The corrupt relay replays the transcript of a different execution
+  // towards P2: it claims P1's input was `lie_to_p2`.
+  adv->add_rule(
+      [corrupt_relay](const Message& m, Time) {
+        return m.from == corrupt_relay && m.to == 1 && m.type == 2;
+      },
+      [lie_to_p2](const Message& m, Time, Rng&) {
+        SendDecision d;
+        Reader r(m.payload);
+        const int origin = static_cast<int>(r.u64());
+        (void)r.boolean();
+        if (origin == 0) {
+          Message alt = m;
+          Writer w;
+          w.u64(0);
+          w.boolean(lie_to_p2);
+          alt.payload = std::move(w).take();
+          d.replacement = std::move(alt);
+        }
+        return d;
+      });
+
+  Simulation sim(cfg, adv);
+  std::vector<RelayAnd*> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(&sim.party(i).spawn<RelayAnd>("and", rule));
+  }
+  nodes[0]->start(x1);
+  nodes[1]->start(x2);
+  nodes[2]->start(false);
+  nodes[3]->start(false);
+  (void)sim.run();
+
+  AttackOutcome out;
+  out.x1 = x1;
+  out.x2 = x2;
+  out.rule = rule;
+  out.corrupt_relay = corrupt_relay;
+  out.lie_to_p2 = lie_to_p2;
+  out.p1_output = nodes[0]->has_output() && nodes[0]->output();
+  out.p2_output = nodes[1]->has_output() && nodes[1]->output();
+  return out;
+}
+
+std::vector<AttackOutcome> find_violations() {
+  std::vector<AttackOutcome> witnesses;
+  for (TieBreak rule : {TieBreak::trust_p3, TieBreak::trust_p4,
+                        TieBreak::assume_zero, TieBreak::assume_one}) {
+    bool found = false;
+    for (bool x1 : {false, true}) {
+      for (bool x2 : {false, true}) {
+        for (int relay : {2, 3}) {
+          for (bool lie : {false, true}) {
+            const AttackOutcome o =
+                run_partition_attack(x1, x2, rule, relay, lie, 7);
+            if (!o.correct()) {
+              witnesses.push_back(o);
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        if (found) break;
+      }
+      if (found) break;
+    }
+    if (!found) {
+      // Record a sentinel "no violation" (should never happen — the
+      // theorem guarantees one per rule).
+      AttackOutcome none;
+      none.rule = rule;
+      none.p1_output = none.p2_output = false;
+      witnesses.push_back(none);
+    }
+  }
+  return witnesses;
+}
+
+}  // namespace nampc

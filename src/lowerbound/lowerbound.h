@@ -1,0 +1,66 @@
+// The lower-bound experiment (Theorem 5.1, §5).
+//
+// The proof reduces any n-party network-agnostic protocol with
+// n = 2ts + 2ta to a 4-party protocol computing
+//     f(x1, x2, ⊥, ⊥) = (x1 ∧ x2, x1 ∧ x2, ⊥, ⊥),
+// and shows that in an asynchronous network where the adversary corrupts
+// P4 and indefinitely delays all P1↔P2 traffic (a schedule that is
+// *indistinguishable* from the valid synchronous corruption of Case I),
+// P1 and P2 cannot always agree: P2's output is a function of {T23, T24}
+// only, both independent of x1, so a corrupt P4 can feed P2 the transcript
+// T'24 of a different execution and flip its output.
+//
+// This module makes that attack executable. Since the theorem quantifies
+// over *all* protocols, the harness runs a family of candidate 4-party
+// relay protocols (parameterised by their tie-breaking rule — the only
+// freedom a protocol has once it must terminate on two conflicting relayed
+// claims) and reports, for each rule, an input/strategy pair on which P1
+// and P2 disagree. Theorem 1.1's feasibility predicate confirms that the
+// configuration used (n=4, ts=1, ta=1 → n = 2ts+2ta) is exactly the
+// boundary case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nampc {
+
+/// How the candidate protocol resolves two conflicting relayed claims
+/// about the blocked peer's input.
+enum class TieBreak {
+  trust_p3,     ///< believe the relay P3
+  trust_p4,     ///< believe the relay P4
+  assume_zero,  ///< conservative: treat the unknown input as 0
+  assume_one,   ///< optimistic: treat the unknown input as 1
+};
+
+struct AttackOutcome {
+  bool x1 = false;
+  bool x2 = false;
+  TieBreak rule = TieBreak::trust_p3;
+  int corrupt_relay = 3;   ///< which of P3 (id 2) / P4 (id 3) is corrupt
+  bool lie_to_p2 = false;  ///< adversary's choice of fabricated claim
+  bool p1_output = false;
+  bool p2_output = false;
+  [[nodiscard]] bool agree() const { return p1_output == p2_output; }
+  [[nodiscard]] bool correct() const {
+    return agree() && p1_output == (x1 && x2);
+  }
+};
+
+/// Runs the Case-II partition attack against the candidate protocol with
+/// the given tie-break rule, inputs, and adversary strategy. The adversary
+/// corrupts one relay (`corrupt_relay` is the party id, 2 or 3 — the
+/// theorem allows either) and replays a foreign transcript towards P2.
+[[nodiscard]] AttackOutcome run_partition_attack(bool x1, bool x2,
+                                                 TieBreak rule,
+                                                 int corrupt_relay,
+                                                 bool lie_to_p2,
+                                                 std::uint64_t seed);
+
+/// For each tie-break rule, searches inputs × adversary strategies and
+/// returns one witnessing disagreement-or-incorrectness (the theorem
+/// guarantees one exists for every rule).
+[[nodiscard]] std::vector<AttackOutcome> find_violations();
+
+}  // namespace nampc

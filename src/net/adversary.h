@@ -1,0 +1,58 @@
+// The adversary / scheduler interface (§3.1).
+//
+// The adversary is a single centralized entity that (a) statically corrupts
+// a set of parties, (b) controls what corrupt parties send (modelled as
+// rewriting or dropping their outgoing messages at the network boundary —
+// any Byzantine strategy is some function of the corrupt parties' joint
+// view, and the strategies exercised by the test-suite are expressed this
+// way), and (c) schedules message delivery: in a synchronous network it may
+// pick any delay in [1, Δ] (FIFO per channel); in an asynchronous network it
+// picks arbitrary finite delays and orderings.
+//
+// The Simulation enforces the model: an adversary cannot drop or modify a
+// message between two honest parties, and cannot exceed Δ for honest
+// messages when the network is synchronous.
+#pragma once
+
+#include <optional>
+
+#include "net/message.h"
+#include "net/time.h"
+#include "util/rng.h"
+#include "util/small_set.h"
+
+namespace nampc {
+
+enum class NetworkKind { synchronous, asynchronous };
+
+/// What the adversary decides about one message in flight.
+struct SendDecision {
+  bool deliver = true;                ///< false => drop (corrupt sender only)
+  std::optional<Time> delay;          ///< absolute delay; model-clamped
+  std::optional<Message> replacement; ///< rewritten body (corrupt sender only)
+};
+
+/// Base adversary: corrupts nobody, schedules honestly (random delays
+/// within the model). Attack strategies subclass this (see src/adversary).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  [[nodiscard]] virtual PartySet corrupt_set() const { return {}; }
+  [[nodiscard]] bool is_corrupt(PartyId id) const {
+    return corrupt_set().contains(id);
+  }
+
+  /// Consulted for every send. Default: deliver unmodified with a random
+  /// model-respecting delay chosen by the simulation.
+  virtual SendDecision on_send(const Message& msg, Time now, NetworkKind kind,
+                               Rng& rng) {
+    (void)msg;
+    (void)now;
+    (void)kind;
+    (void)rng;
+    return {};
+  }
+};
+
+}  // namespace nampc

@@ -1,0 +1,23 @@
+// Point-to-point messages between simulated parties.
+#pragma once
+
+#include <string>
+
+#include "util/codec.h"
+
+namespace nampc {
+
+using PartyId = int;
+
+/// A message addressed to a protocol instance on the receiving party.
+/// `instance` is the routing key (hierarchical, e.g. "vss0/it2/inner3/acast");
+/// `type` is a protocol-defined tag; `payload` is the word-encoded body.
+struct Message {
+  PartyId from = -1;
+  PartyId to = -1;
+  std::string instance;
+  int type = 0;
+  Words payload;
+};
+
+}  // namespace nampc

@@ -1,0 +1,197 @@
+#include "net/simulation.h"
+
+#include <algorithm>
+
+namespace nampc {
+
+Simulation::Simulation(Config config, std::shared_ptr<Adversary> adversary)
+    : config_(config),
+      timing_(Timing::derive(config.params, config.delta)),
+      adversary_(std::move(adversary)),
+      rng_(config.seed) {
+  if (!config_.allow_infeasible) config_.params.validate();
+  NAMPC_REQUIRE(adversary_ != nullptr, "simulation needs an adversary");
+  const PartySet corrupt = adversary_->corrupt_set();
+  NAMPC_REQUIRE(corrupt.subset_of(PartySet::full(config_.params.n)),
+                "corrupt set contains unknown parties");
+  const int budget = config_.kind == NetworkKind::synchronous
+                         ? config_.params.ts
+                         : config_.params.ta;
+  NAMPC_REQUIRE(corrupt.size() <= budget,
+                "adversary exceeds the corruption budget for this network");
+  parties_.reserve(static_cast<std::size_t>(config_.params.n));
+  for (int i = 0; i < config_.params.n; ++i) {
+    parties_.push_back(std::make_unique<Party>(*this, i));
+  }
+}
+
+Simulation::~Simulation() {
+  // Drop pending events (which may capture instance pointers) before the
+  // parties that own those instances.
+  while (!queue_.empty()) queue_.pop();
+}
+
+Party& Simulation::party(PartyId id) {
+  NAMPC_REQUIRE(id >= 0 && id < static_cast<int>(parties_.size()),
+                "party id out of range");
+  return *parties_[static_cast<std::size_t>(id)];
+}
+
+void Simulation::schedule(Time t, std::function<void()> fn, int klass) {
+  NAMPC_REQUIRE(t >= now_, "cannot schedule in the past");
+  queue_.push(Event{t, klass, seq_++, std::move(fn)});
+}
+
+Time Simulation::default_delay(PartyId from, PartyId to) {
+  (void)from;
+  (void)to;
+  if (config_.kind == NetworkKind::synchronous) {
+    return rng_.next_in(1, config_.delta);
+  }
+  return rng_.next_in(1, config_.async_spread * config_.delta);
+}
+
+void Simulation::post_message(Message msg) {
+  NAMPC_REQUIRE(msg.from >= 0 && msg.from < n() && msg.to >= 0 && msg.to < n(),
+                "message endpoints out of range");
+  metrics_.messages_sent++;
+  metrics_.words_sent += msg.payload.size();
+
+  // Self-delivery bypasses the network (a party talking to itself).
+  if (msg.from == msg.to) {
+    const PartyId to = msg.to;
+    schedule(now_, [this, to, m = std::move(msg)] { party(to).deliver(m); },
+             /*klass=*/0);
+    return;
+  }
+
+  const bool corrupt_sender = adversary_->is_corrupt(msg.from);
+  SendDecision decision =
+      adversary_->on_send(msg, now_, config_.kind, rng_);
+
+  // Model enforcement: only corrupt senders can be dropped or rewritten.
+  if (!corrupt_sender) {
+    decision.deliver = true;
+    decision.replacement.reset();
+  }
+  if (!decision.deliver) return;
+
+  const PartyId orig_from = msg.from;
+  const PartyId orig_to = msg.to;
+  Message final_msg = decision.replacement.has_value()
+                          ? std::move(*decision.replacement)
+                          : std::move(msg);
+  // Channels are authenticated (§3.1): even a corrupt sender cannot spoof
+  // another party or redirect the channel.
+  NAMPC_REQUIRE(final_msg.from == orig_from && final_msg.to == orig_to,
+                "adversary cannot change message endpoints");
+
+  Time delay = decision.delay.value_or(
+      default_delay(final_msg.from, final_msg.to));
+  if (delay < 1) delay = 1;
+  if (config_.kind == NetworkKind::synchronous && !corrupt_sender) {
+    delay = std::min<Time>(delay, config_.delta);
+  }
+
+  Time arrival = now_ + delay;
+  if (config_.kind == NetworkKind::synchronous) {
+    // FIFO per channel (§3.1: "delivered in the same order they are sent").
+    Time& last = last_arrival_[{final_msg.from, final_msg.to}];
+    arrival = std::max(arrival, last);
+    last = arrival;
+  }
+
+  const PartyId to = final_msg.to;
+  schedule(
+      arrival, [this, to, m = std::move(final_msg)] { party(to).deliver(m); },
+      /*klass=*/0);
+}
+
+RunStatus Simulation::run() {
+  while (!queue_.empty()) {
+    if (metrics_.events_processed >= config_.max_events) {
+      return RunStatus::event_limit;
+    }
+    const Event& top = queue_.top();
+    if (top.time >= config_.horizon) return RunStatus::horizon;
+    now_ = top.time;
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    metrics_.events_processed++;
+    fn();
+  }
+  return RunStatus::quiescent;
+}
+
+Party::Party(Simulation& sim, PartyId id)
+    : sim_(sim), id_(id), rng_(sim.config().seed ^ (0x1000ull + static_cast<std::uint64_t>(id))) {}
+
+Party::~Party() = default;
+
+bool Party::corrupt() const { return sim_.adversary().is_corrupt(id_); }
+
+void Party::register_instance(ProtocolInstance& inst) {
+  const std::string& key = inst.key();
+  NAMPC_REQUIRE(router_.find(key) == router_.end(),
+                "duplicate protocol instance key: " + key);
+  router_[key] = &inst;
+  const auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    // Flush buffered messages as fresh events so handlers never run inside
+    // the constructor call stack of the instance they target.
+    for (Message& m : it->second) {
+      sim_.schedule(
+          sim_.now(), [this, msg = std::move(m)] { deliver(msg); },
+          /*klass=*/0);
+    }
+    pending_.erase(it);
+  }
+}
+
+void Party::unregister_instance(const std::string& key) { router_.erase(key); }
+
+void Party::deliver(const Message& msg) {
+  const auto it = router_.find(msg.instance);
+  if (it == router_.end()) {
+    pending_[msg.instance].push_back(msg);
+    return;
+  }
+  try {
+    it->second->on_message(msg);
+  } catch (const DecodeError&) {
+    // Malformed payload from a corrupt sender: ignore, as an implementation
+    // of "treat as misbehaviour".
+  }
+}
+
+ProtocolInstance::ProtocolInstance(Party& party, std::string key)
+    : party_(party), key_(std::move(key)) {}
+
+ProtocolInstance::~ProtocolInstance() { party_.unregister_instance(key_); }
+
+void ProtocolInstance::send(PartyId to, int type, Words payload) {
+  Message msg;
+  msg.from = my_id();
+  msg.to = to;
+  msg.instance = key_;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  sim().post_message(std::move(msg));
+}
+
+void ProtocolInstance::send_all(int type, const Words& payload) {
+  for (int to = 0; to < n(); ++to) {
+    send(to, type, payload);
+  }
+}
+
+void ProtocolInstance::at(Time t, std::function<void()> fn, int klass) {
+  sim().schedule(std::max(t, now()), std::move(fn), klass);
+}
+
+void ProtocolInstance::after(Time delay, std::function<void()> fn, int klass) {
+  NAMPC_REQUIRE(delay >= 0, "negative timer delay");
+  sim().schedule(now() + delay, std::move(fn), klass);
+}
+
+}  // namespace nampc

@@ -1,0 +1,252 @@
+// Discrete-event simulator: parties, routing, timers, adversarial delivery.
+//
+// One Simulation hosts n parties, an event queue ordered by (virtual time,
+// insertion sequence), a network model (synchronous with bound Δ, or
+// asynchronous), and an Adversary that corrupts parties and schedules
+// delivery. Protocol code is written as ProtocolInstance subclasses that
+// exchange Messages and set timers; the same protocol code runs unchanged
+// under either network, which is the whole point of the paper.
+//
+// Model enforcement (see adversary.h): honest→* messages cannot be dropped
+// or modified; in a synchronous network they arrive within Δ and in FIFO
+// order per channel. Corrupt senders can do anything, including staying
+// silent forever.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/adversary.h"
+#include "net/message.h"
+#include "net/time.h"
+#include "util/assert.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace nampc {
+
+class Party;
+class ProtocolInstance;
+
+/// Why Simulation::run returned.
+enum class RunStatus {
+  quiescent,    ///< no pending events (every protocol ran to completion)
+  event_limit,  ///< safety valve tripped — almost certainly a bug or livelock
+  horizon,      ///< only events beyond the configured horizon remain
+};
+
+/// One simulated execution.
+class Simulation {
+ public:
+  struct Config {
+    ProtocolParams params;
+    NetworkKind kind = NetworkKind::synchronous;
+    Time delta = 10;
+    /// Honest asynchronous delays are uniform in [1, async_spread * delta].
+    Time async_spread = 25;
+    std::uint64_t seed = 1;
+    std::uint64_t max_events = 200'000'000;
+    /// When true, Π_SBA / Π_ABA (the *imported* primitives of §4) run as
+    /// ideal functionalities with the same interface and timing — see
+    /// DESIGN.md substitution #3. Acast, Π_BC, Π_BA and Π_ACS logic always
+    /// runs for real.
+    bool ideal_primitives = false;
+    /// ABA coin: false = ideal common coin (default), true = Ben-Or local
+    /// coins (almost-surely terminating, slower).
+    bool local_coins = false;
+    /// Events scheduled at or beyond this time are not executed; used to cut
+    /// off kFarFuture deliveries from adversarial schedulers.
+    Time horizon = kFarFuture;
+    /// The lower-bound experiment (§5) deliberately runs with parameters
+    /// that violate Theorem 1.1; it sets this to skip feasibility checks.
+    bool allow_infeasible = false;
+  };
+
+  Simulation(Config config, std::shared_ptr<Adversary> adversary);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const ProtocolParams& params() const { return config_.params; }
+  [[nodiscard]] const Timing& timing() const { return timing_; }
+  [[nodiscard]] NetworkKind kind() const { return config_.kind; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] Adversary& adversary() { return *adversary_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  [[nodiscard]] Party& party(PartyId id);
+  [[nodiscard]] int n() const { return config_.params.n; }
+
+  /// Ideal common coin (the coin-tossing functionality of [24, 6]): every
+  /// party computes the same bit for a given (label, round) — see DESIGN.md
+  /// substitution #2.
+  [[nodiscard]] bool common_coin(const std::string& label,
+                                 std::uint64_t round) const {
+    return Rng::oracle_coin(config_.seed ^ 0x9e3779b9ull, label, round);
+  }
+
+  /// Schedules fn at absolute virtual time t (>= now). Within one tick,
+  /// message deliveries (klass 0) run before timers (klass 1): a protocol
+  /// step "at time T" observes every message that arrived "by time T".
+  void schedule(Time t, std::function<void()> fn, int klass = 1);
+
+  /// Sends a message through the adversarial network.
+  void post_message(Message msg);
+
+  /// Runs until quiescence, the horizon, or the event limit.
+  RunStatus run();
+
+  /// Type-erased shared state for ideal-functionality gadgets (Ideal BC/BA).
+  /// Creates the object on first access via `factory`.
+  template <typename T, typename Factory>
+  T& shared_state(const std::string& key, Factory&& factory) {
+    auto it = gadgets_.find(key);
+    if (it == gadgets_.end()) {
+      auto obj = std::shared_ptr<T>(factory());
+      it = gadgets_.emplace(key, std::move(obj)).first;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
+ private:
+  struct Event {
+    Time time;
+    int klass;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.klass != b.klass) return a.klass > b.klass;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] Time default_delay(PartyId from, PartyId to);
+
+  Config config_;
+  Timing timing_;
+  std::shared_ptr<Adversary> adversary_;
+  Metrics metrics_;
+  Rng rng_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Party>> parties_;
+  std::map<std::pair<PartyId, PartyId>, Time> last_arrival_;  // FIFO (sync)
+  std::map<std::string, std::shared_ptr<void>> gadgets_;
+};
+
+/// One simulated party: routes messages to protocol instances by key and
+/// buffers messages for instances that have not been created yet (an
+/// asynchronous network can deliver a child protocol's traffic before the
+/// local party has spawned that child).
+class Party {
+ public:
+  Party(Simulation& sim, PartyId id);
+  ~Party();
+
+  Party(const Party&) = delete;
+  Party& operator=(const Party&) = delete;
+
+  [[nodiscard]] PartyId id() const { return id_; }
+  [[nodiscard]] Simulation& sim() { return sim_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] bool corrupt() const;
+
+  /// Creates a top-level protocol instance owned by the party.
+  template <typename T, typename... Args>
+  T& spawn(Args&&... args) {
+    auto owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T& ref = *owned;
+    roots_.push_back(std::move(owned));
+    register_instance(ref);
+    return ref;
+  }
+
+  void register_instance(ProtocolInstance& inst);
+  void unregister_instance(const std::string& key);
+
+  /// Routes (or buffers) an arriving message. Called by the simulator.
+  void deliver(const Message& msg);
+
+ private:
+  Simulation& sim_;
+  PartyId id_;
+  Rng rng_;
+  std::map<std::string, ProtocolInstance*> router_;
+  std::map<std::string, std::vector<Message>> pending_;
+  std::vector<std::unique_ptr<ProtocolInstance>> roots_;
+};
+
+/// Base class for protocol state machines.
+///
+/// A ProtocolInstance belongs to one party and is addressed by a
+/// hierarchical string key. Subclasses implement on_message and use the
+/// protected helpers for I/O and timers. Composite protocols own child
+/// instances (make_child), giving every protocol in the stack a stable
+/// address like "mpc/z3/d2/vts/vss/it1/inner4/rbc5".
+class ProtocolInstance {
+ public:
+  ProtocolInstance(Party& party, std::string key);
+  virtual ~ProtocolInstance();
+
+  ProtocolInstance(const ProtocolInstance&) = delete;
+  ProtocolInstance& operator=(const ProtocolInstance&) = delete;
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+
+  virtual void on_message(const Message& msg) = 0;
+
+ protected:
+  [[nodiscard]] Party& party() { return party_; }
+  [[nodiscard]] PartyId my_id() const { return party_.id(); }
+  [[nodiscard]] Simulation& sim() { return party_.sim(); }
+  [[nodiscard]] Time now() const { return party_.sim().now(); }
+  [[nodiscard]] const ProtocolParams& params() const {
+    return party_.sim().params();
+  }
+  [[nodiscard]] int n() const { return params().n; }
+  [[nodiscard]] const Timing& timing() const { return party_.sim().timing(); }
+  [[nodiscard]] Rng& rng() { return party_.rng(); }
+  [[nodiscard]] Metrics& metrics() { return party_.sim().metrics(); }
+
+  void send(PartyId to, int type, Words payload = {});
+  void send_all(int type, const Words& payload = {});
+
+  /// Runs fn at absolute time t (clamped to now if already past).
+  /// Within one tick events run in klass order: 0 = message deliveries,
+  /// 1 = primitive-internal timers (SBA rounds), 2 = Π_BC output steps,
+  /// 3 = protocol steps (default) — so a protocol step "at time T" observes
+  /// every message and broadcast output "by time T".
+  void at(Time t, std::function<void()> fn, int klass = 3);
+  /// Runs fn after `delay` ticks.
+  void after(Time delay, std::function<void()> fn, int klass = 3);
+
+  /// Creates and registers a child instance keyed `key() + "/" + subkey`.
+  template <typename T, typename... Args>
+  T& make_child(const std::string& subkey, Args&&... args) {
+    auto owned = std::make_unique<T>(party_, key_ + "/" + subkey,
+                                     std::forward<Args>(args)...);
+    T& ref = *owned;
+    children_.push_back(std::move(owned));
+    party_.register_instance(ref);
+    return ref;
+  }
+
+ private:
+  Party& party_;
+  std::string key_;
+  std::vector<std::unique_ptr<ProtocolInstance>> children_;
+};
+
+}  // namespace nampc

@@ -1,0 +1,80 @@
+// Virtual time and the paper's timing formulas.
+//
+// The simulator runs on integer virtual time. Δ (delta) is the synchronous
+// delivery bound (§3.1). All protocol step times are derived constants; the
+// Timing struct mirrors the formulas quoted in DESIGN.md §5 and the paper's
+// Theorems 6.3 / 7.3 / 8.2, with T_SBA coming from our phase-king SBA.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace nampc {
+
+using Time = std::int64_t;
+
+/// Sentinel for "deliver after every experiment horizon" — used by
+/// adversarial schedulers in the asynchronous model, where delivery must be
+/// eventual but may outlast any finite observation window.
+inline constexpr Time kFarFuture = INT64_C(1) << 58;
+
+/// Corruption thresholds and party count for one protocol run.
+struct ProtocolParams {
+  int n = 0;   ///< number of parties
+  int ts = 0;  ///< corruptions tolerated when the network is synchronous
+  int ta = 0;  ///< corruptions tolerated when the network is asynchronous
+
+  /// The paper's Theorem 1.1 feasibility condition.
+  [[nodiscard]] bool feasible() const {
+    const int m1 = ts > ta ? ts : ta;
+    const int m2 = 2 * ta > ts ? 2 * ta : ts;
+    return n > 2 * m1 + m2;
+  }
+
+  void validate() const {
+    NAMPC_REQUIRE(n >= 1 && n <= 24, "n out of supported range [1,24]");
+    NAMPC_REQUIRE(0 <= ta && ta <= ts && ts < n,
+                  "need 0 <= ta <= ts < n (ta > ts reduces to pure async)");
+    NAMPC_REQUIRE(feasible(), "params violate n > 2*max(ts,ta)+max(2ta,ts)");
+  }
+};
+
+/// All derived protocol times for a given (params, delta).
+struct Timing {
+  Time delta = 10;
+
+  Time t_sba = 0;    ///< synchronous BA (phase-king) duration
+  Time t_bc = 0;     ///< network-agnostic broadcast regular-mode duration
+  Time t_aba = 0;    ///< one unanimous ABA round (Full mode, sync)
+  Time t_ba = 0;     ///< network-agnostic BA duration (sync)
+  Time wss_iter = 0; ///< one WSS iteration: 5*T_BC + 2*T_BA
+  Time t_wss = 0;    ///< Theorem 6.3: (ts-ta+1)*iter + 3Δ
+  Time t_wss_z = 0;  ///< §6 Z-conditioned variant: (ts+1)*iter + 3Δ
+  Time vss_iter = 0; ///< one VSS iteration: 5*T_BC + T'_WSS + 2*T_BA
+  Time t_vss = 0;    ///< Theorem 7.3: (ts+1)*vss_iter
+  Time t_vts = 0;    ///< Theorem 8.2: T_VSS + 3*T_BC + 2Δ
+  Time t_acs = 0;    ///< Theorem 4.10: 2*T_BA
+
+  static Timing derive(const ProtocolParams& p, Time delta) {
+    NAMPC_REQUIRE(delta >= 1, "delta must be positive");
+    Timing t;
+    t.delta = delta;
+    // Phase-king SBA: ts+1 phases of 2 rounds each, one Δ per round
+    // (message delivery events sort before same-time round timers).
+    t.t_sba = 2 * (p.ts + 1) * delta;
+    t.t_bc = 3 * delta + t.t_sba;       // Protocol 4.5
+    t.t_aba = 6 * delta;                // one Bracha round, unanimous inputs
+    t.t_ba = t.t_bc + t.t_aba;          // Protocol 4.7
+    t.wss_iter = 5 * t.t_bc + 2 * t.t_ba;
+    t.t_wss = (p.ts - p.ta + 1) * t.wss_iter + 3 * delta;
+    t.t_wss_z = (p.ts + 1) * t.wss_iter + 3 * delta;
+    t.vss_iter = 5 * t.t_bc + t.t_wss_z + 2 * t.t_ba;
+    t.t_vss = (p.ts + 1) * t.vss_iter;
+    t.t_vts = t.t_vss + 3 * t.t_bc + 2 * delta;
+    t.t_acs = 2 * t.t_ba;
+    return t;
+  }
+};
+
+}  // namespace nampc

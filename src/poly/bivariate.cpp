@@ -1,0 +1,69 @@
+#include "poly/bivariate.h"
+
+namespace nampc {
+
+namespace {
+std::vector<FpVec> symmetric_random(int l, Rng& rng) {
+  const auto n = static_cast<std::size_t>(l) + 1;
+  std::vector<FpVec> b(n, FpVec(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const Fp v(rng.next_below(Fp::kPrime));
+      b[i][j] = v;
+      b[j][i] = v;
+    }
+  }
+  return b;
+}
+}  // namespace
+
+SymBivariate SymBivariate::random_with_secret(Fp secret, int l, Rng& rng) {
+  NAMPC_REQUIRE(l >= 0, "negative degree bound");
+  SymBivariate f;
+  f.l_ = l;
+  f.b_ = symmetric_random(l, rng);
+  f.b_[0][0] = secret;
+  return f;
+}
+
+SymBivariate SymBivariate::random_with_row0(const Polynomial& row0, int l,
+                                            Rng& rng) {
+  NAMPC_REQUIRE(row0.degree() <= l, "row0 degree exceeds bound");
+  SymBivariate f;
+  f.l_ = l;
+  f.b_ = symmetric_random(l, rng);
+  for (int k = 0; k <= l; ++k) {
+    const Fp c = row0.coeff(k);
+    f.b_[static_cast<std::size_t>(k)][0] = c;
+    f.b_[0][static_cast<std::size_t>(k)] = c;
+  }
+  return f;
+}
+
+Fp SymBivariate::eval(Fp x, Fp y) const {
+  // Horner in y of Horner-in-x rows.
+  Fp acc(0);
+  for (std::size_t j = b_.size(); j-- > 0;) {
+    Fp row_val(0);
+    for (std::size_t i = b_.size(); i-- > 0;) {
+      row_val = row_val * x + b_[i][j];
+    }
+    acc = acc * y + row_val;
+  }
+  return acc;
+}
+
+Polynomial SymBivariate::row(Fp y0) const {
+  const std::size_t n = b_.size();
+  FpVec coeffs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Fp acc(0);
+    for (std::size_t j = n; j-- > 0;) {
+      acc = acc * y0 + b_[i][j];
+    }
+    coeffs[i] = acc;
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace nampc

@@ -1,0 +1,53 @@
+// Symmetric bivariate polynomials over F_p (§3.2).
+//
+// F(x,y) = sum_{i,j<=l} b_ij x^i y^j with b_ij = b_ji. The dealer's secret
+// is embedded at F(0,0); party P_i's row polynomial is f_i(x) = F(x, i+1)
+// (1-based evaluation points). Symmetry gives the pairwise consistency
+// relation f_i(j) = f_j(i) that all sharing protocols check.
+#pragma once
+
+#include <vector>
+
+#include "poly/polynomial.h"
+
+namespace nampc {
+
+/// Symmetric bivariate polynomial of degree <= l in each variable.
+class SymBivariate {
+ public:
+  SymBivariate() = default;
+
+  /// Uniformly random symmetric F with degree bound l and F(0,0) = secret.
+  static SymBivariate random_with_secret(Fp secret, int l, Rng& rng);
+
+  /// Uniformly random symmetric F with degree bound l whose first row is the
+  /// given polynomial: F(x,0) = row0(x). Used by the inner WSS layer of
+  /// Π_VSS, where a party re-shares the univariate share it received.
+  /// row0.degree() must be <= l.
+  static SymBivariate random_with_row0(const Polynomial& row0, int l, Rng& rng);
+
+  [[nodiscard]] int degree_bound() const { return l_; }
+
+  [[nodiscard]] Fp eval(Fp x, Fp y) const;
+
+  /// The univariate polynomial F(x, y0).
+  [[nodiscard]] Polynomial row(Fp y0) const;
+
+  /// Row for a party id (evaluates at the party's point id+1).
+  [[nodiscard]] Polynomial row_for_party(int party_id) const {
+    return row(eval_point(party_id));
+  }
+
+  [[nodiscard]] Fp secret() const { return eval(Fp(0), Fp(0)); }
+
+  /// Coefficient b_ij.
+  [[nodiscard]] Fp coeff(int i, int j) const {
+    return b_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  }
+
+ private:
+  int l_ = 0;
+  std::vector<FpVec> b_;  // (l+1) x (l+1), symmetric
+};
+
+}  // namespace nampc

@@ -1,0 +1,132 @@
+#include "poly/polynomial.h"
+
+namespace nampc {
+
+Polynomial Polynomial::random_with_constant(Fp constant_term, int degree_bound,
+                                            Rng& rng) {
+  NAMPC_REQUIRE(degree_bound >= 0, "negative degree bound");
+  FpVec coeffs(static_cast<std::size_t>(degree_bound) + 1);
+  coeffs[0] = constant_term;
+  for (int k = 1; k <= degree_bound; ++k) {
+    coeffs[static_cast<std::size_t>(k)] = Fp(rng.next_below(Fp::kPrime));
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::interpolate(const FpVec& xs, const FpVec& ys) {
+  NAMPC_REQUIRE(xs.size() == ys.size(), "interpolate: size mismatch");
+  NAMPC_REQUIRE(!xs.empty(), "interpolate: no points");
+  const std::size_t m = xs.size();
+  // Incremental Newton-style construction: result += ys-correction * basis,
+  // where basis = prod_{j<i} (x - xs[j]). O(m^2), fine for m <= n.
+  Polynomial result;
+  Polynomial basis = Polynomial::constant(Fp(1));
+  for (std::size_t i = 0; i < m; ++i) {
+    const Fp bx = basis.eval(xs[i]);
+    NAMPC_REQUIRE(!bx.is_zero(), "interpolate: duplicate x coordinate");
+    const Fp delta = (ys[i] - result.eval(xs[i])) / bx;
+    result = result + Polynomial(scale(delta, basis.coeffs()));
+    // basis *= (x - xs[i])
+    basis = basis * Polynomial(FpVec{-xs[i], Fp(1)});
+  }
+  return result;
+}
+
+Fp Polynomial::eval(Fp x) const {
+  Fp acc(0);
+  for (std::size_t k = coeffs_.size(); k-- > 0;) {
+    acc = acc * x + coeffs_[k];
+  }
+  return acc;
+}
+
+Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+  FpVec out(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    Fp va = k < a.coeffs_.size() ? a.coeffs_[k] : Fp(0);
+    Fp vb = k < b.coeffs_.size() ? b.coeffs_[k] : Fp(0);
+    out[k] = va + vb;
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial operator-(const Polynomial& a, const Polynomial& b) {
+  FpVec out(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    Fp va = k < a.coeffs_.size() ? a.coeffs_[k] : Fp(0);
+    Fp vb = k < b.coeffs_.size() ? b.coeffs_[k] : Fp(0);
+    out[k] = va - vb;
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.coeffs_.empty() || b.coeffs_.empty()) return Polynomial{};
+  FpVec out(a.coeffs_.size() + b.coeffs_.size() - 1);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      out[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+std::pair<Polynomial, Polynomial> Polynomial::div_rem(
+    const Polynomial& divisor) const {
+  NAMPC_REQUIRE(divisor.degree() >= 0, "division by zero polynomial");
+  FpVec rem = coeffs_;
+  const int dd = divisor.degree();
+  const Fp lead_inv = divisor.coeffs_.back().inverse();
+  if (degree() < dd) return {Polynomial{}, *this};
+  FpVec quot(static_cast<std::size_t>(degree() - dd) + 1);
+  for (int k = degree(); k >= dd; --k) {
+    const Fp factor = rem[static_cast<std::size_t>(k)] * lead_inv;
+    quot[static_cast<std::size_t>(k - dd)] = factor;
+    if (factor.is_zero()) continue;
+    for (int j = 0; j <= dd; ++j) {
+      rem[static_cast<std::size_t>(k - dd + j)] -=
+          factor * divisor.coeffs_[static_cast<std::size_t>(j)];
+    }
+  }
+  return {Polynomial(std::move(quot)), Polynomial(std::move(rem))};
+}
+
+Polynomial Polynomial::divide_exact(const Polynomial& divisor) const {
+  auto [quot, rem] = div_rem(divisor);
+  NAMPC_REQUIRE(rem.degree() < 0, "divide_exact: non-zero remainder");
+  return quot;
+}
+
+void Polynomial::encode(Writer& w) const {
+  w.u64(coeffs_.size());
+  for (Fp c : coeffs_) w.u64(c.value());
+}
+
+Polynomial Polynomial::decode(Reader& r) {
+  const std::uint64_t len = r.u64();
+  if (len > 4096) throw DecodeError("polynomial too large");
+  FpVec coeffs;
+  coeffs.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) coeffs.emplace_back(r.u64());
+  return Polynomial(std::move(coeffs));
+}
+
+FpVec lagrange_coefficients(const FpVec& xs, Fp at) {
+  const std::size_t m = xs.size();
+  NAMPC_REQUIRE(m > 0, "lagrange: no points");
+  FpVec coeffs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Fp num(1);
+    Fp den(1);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      num *= at - xs[j];
+      den *= xs[i] - xs[j];
+    }
+    NAMPC_REQUIRE(!den.is_zero(), "lagrange: duplicate x coordinate");
+    coeffs[i] = num / den;
+  }
+  return coeffs;
+}
+
+}  // namespace nampc

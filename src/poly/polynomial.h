@@ -1,0 +1,85 @@
+// Univariate polynomials over F_p.
+//
+// Used for Shamir shares (degree-ts univariate rows of a bivariate
+// polynomial), for Reed-Solomon codewords, and for the X/Y/Z triple
+// verification polynomials of Π_VTS. Coefficient order is ascending:
+// coeffs_[k] multiplies x^k. The zero polynomial has an empty coefficient
+// vector and degree() == -1.
+#pragma once
+
+#include <vector>
+
+#include "field/fp.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace nampc {
+
+/// Dense univariate polynomial over F_p, ascending coefficient order.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(FpVec coeffs) : coeffs_(std::move(coeffs)) { trim(); }
+
+  /// Constant polynomial.
+  static Polynomial constant(Fp c) { return Polynomial(FpVec{c}); }
+
+  /// Uniformly random polynomial of exactly the given degree bound (degree
+  /// <= degree_bound; leading coefficient may be zero, as required for
+  /// perfectly hiding Shamir sharing) with fixed constant term.
+  static Polynomial random_with_constant(Fp constant_term, int degree_bound,
+                                         Rng& rng);
+
+  /// Lagrange interpolation through distinct points (xs[i], ys[i]).
+  /// Degree of result < xs.size().
+  static Polynomial interpolate(const FpVec& xs, const FpVec& ys);
+
+  [[nodiscard]] Fp eval(Fp x) const;
+
+  /// Degree, or -1 for the zero polynomial.
+  [[nodiscard]] int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+  [[nodiscard]] const FpVec& coeffs() const { return coeffs_; }
+  [[nodiscard]] Fp coeff(int k) const {
+    return k >= 0 && k < static_cast<int>(coeffs_.size()) ? coeffs_[static_cast<std::size_t>(k)]
+                                                          : Fp(0);
+  }
+
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator-(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+  /// Exact division; requires remainder zero (checked).
+  [[nodiscard]] Polynomial divide_exact(const Polynomial& divisor) const;
+
+  /// Division with remainder (quotient, remainder).
+  [[nodiscard]] std::pair<Polynomial, Polynomial> div_rem(
+      const Polynomial& divisor) const;
+
+  void encode(Writer& w) const;
+  static Polynomial decode(Reader& r);
+
+ private:
+  void trim() {
+    while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+  }
+
+  FpVec coeffs_;
+};
+
+/// Lagrange coefficients L_i such that f(at) = sum_i L_i * ys[i] for any
+/// polynomial f of degree < xs.size() with f(xs[i]) = ys[i]. These are the
+/// public linear maps parties apply locally to share vectors (steps 3/6 of
+/// Π_VTS, steps 2-3 of Π_tripleExt).
+[[nodiscard]] FpVec lagrange_coefficients(const FpVec& xs, Fp at);
+
+/// Evaluation points for parties: party i (0-based) evaluates at i+1.
+[[nodiscard]] inline Fp eval_point(int party_id) {
+  return Fp(static_cast<std::uint64_t>(party_id) + 1);
+}
+
+}  // namespace nampc

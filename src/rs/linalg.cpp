@@ -1,0 +1,52 @@
+#include "rs/linalg.h"
+
+#include "util/assert.h"
+
+namespace nampc {
+
+std::optional<FpVec> solve_linear(FpMatrix a, FpVec b) {
+  const std::size_t rows = a.size();
+  NAMPC_REQUIRE(b.size() == rows, "solve_linear: rhs size mismatch");
+  const std::size_t cols = rows == 0 ? 0 : a[0].size();
+  for (const auto& row : a) {
+    NAMPC_REQUIRE(row.size() == cols, "solve_linear: ragged matrix");
+  }
+
+  std::vector<std::size_t> pivot_col_of_row;
+  pivot_col_of_row.reserve(rows);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    // Find a pivot in this column at or below `rank`.
+    std::size_t pivot = rank;
+    while (pivot < rows && a[pivot][col].is_zero()) ++pivot;
+    if (pivot == rows) continue;
+    std::swap(a[pivot], a[rank]);
+    std::swap(b[pivot], b[rank]);
+    const Fp inv = a[rank][col].inverse();
+    for (std::size_t j = col; j < cols; ++j) a[rank][j] *= inv;
+    b[rank] *= inv;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == rank || a[r][col].is_zero()) continue;
+      const Fp factor = a[r][col];
+      for (std::size_t j = col; j < cols; ++j) {
+        a[r][j] -= factor * a[rank][j];
+      }
+      b[r] -= factor * b[rank];
+    }
+    pivot_col_of_row.push_back(col);
+    ++rank;
+  }
+
+  // Consistency: any zero row of A must have zero rhs.
+  for (std::size_t r = rank; r < rows; ++r) {
+    if (!b[r].is_zero()) return std::nullopt;
+  }
+
+  FpVec x(cols, Fp(0));
+  for (std::size_t r = 0; r < rank; ++r) {
+    x[pivot_col_of_row[r]] = b[r];
+  }
+  return x;
+}
+
+}  // namespace nampc

@@ -1,0 +1,19 @@
+// Dense linear algebra over F_p used by the Berlekamp-Welch decoder.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "field/fp.h"
+
+namespace nampc {
+
+/// A dense matrix over F_p (row-major).
+using FpMatrix = std::vector<FpVec>;
+
+/// Solves A x = b (A: rows x cols, b: rows). Returns any solution if the
+/// system is consistent, std::nullopt otherwise. Free variables are set to
+/// zero. A and b are taken by value (the elimination is destructive).
+[[nodiscard]] std::optional<FpVec> solve_linear(FpMatrix a, FpVec b);
+
+}  // namespace nampc

@@ -1,0 +1,101 @@
+#include "rs/reed_solomon.h"
+
+#include "rs/linalg.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+namespace {
+
+int distance_to(const Polynomial& f, const std::vector<RsPoint>& points) {
+  int mismatches = 0;
+  for (const RsPoint& p : points) {
+    if (f.eval(p.x) != p.y) ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
+  NAMPC_REQUIRE(k >= 0 && e >= 0, "rs_decode: bad parameters");
+  const int n_points = static_cast<int>(points.size());
+  NAMPC_REQUIRE(n_points >= k + 2 * e + 1,
+                "rs_decode: not enough points for requested correction");
+
+  if (e == 0) {
+    // Plain interpolation through the first k+1 points, then verify all.
+    FpVec xs, ys;
+    xs.reserve(static_cast<std::size_t>(k) + 1);
+    ys.reserve(static_cast<std::size_t>(k) + 1);
+    for (int i = 0; i <= k; ++i) {
+      xs.push_back(points[static_cast<std::size_t>(i)].x);
+      ys.push_back(points[static_cast<std::size_t>(i)].y);
+    }
+    Polynomial f = Polynomial::interpolate(xs, ys);
+    if (f.degree() <= k && distance_to(f, points) == 0) {
+      return {RsStatus::ok, std::move(f), 0};
+    }
+    return {RsStatus::detected, {}, 0};
+  }
+
+  // Unknowns: q_0..q_{k+e} (k+e+1) then a_0..a_{e-1} (E monic of degree e).
+  // Equation per point i:  sum_j q_j x^j  -  y * sum_{u<e} a_u x^u  =  y x^e.
+  const int q_terms = k + e + 1;
+  const int unknowns = q_terms + e;
+  FpMatrix a(static_cast<std::size_t>(n_points),
+             FpVec(static_cast<std::size_t>(unknowns)));
+  FpVec rhs(static_cast<std::size_t>(n_points));
+  for (int i = 0; i < n_points; ++i) {
+    const Fp x = points[static_cast<std::size_t>(i)].x;
+    const Fp y = points[static_cast<std::size_t>(i)].y;
+    Fp xp(1);
+    for (int j = 0; j < q_terms; ++j) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = xp;
+      xp *= x;
+    }
+    Fp xe(1);
+    for (int u = 0; u < e; ++u) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(q_terms + u)] =
+          -(y * xe);
+      xe *= x;
+    }
+    rhs[static_cast<std::size_t>(i)] = y * xe;  // xe == x^e here
+  }
+
+  const auto solution = solve_linear(std::move(a), std::move(rhs));
+  if (!solution.has_value()) return {RsStatus::detected, {}, 0};
+
+  FpVec q_coeffs(solution->begin(), solution->begin() + q_terms);
+  FpVec e_coeffs(solution->begin() + q_terms, solution->end());
+  e_coeffs.push_back(Fp(1));  // monic x^e term
+  const Polynomial q_poly{std::move(q_coeffs)};
+  const Polynomial e_poly{std::move(e_coeffs)};
+
+  auto [f, rem] = q_poly.div_rem(e_poly);
+  if (rem.degree() >= 0) return {RsStatus::detected, {}, 0};
+  if (f.degree() > k) return {RsStatus::detected, {}, 0};
+  const int dist = distance_to(f, points);
+  if (dist > e) return {RsStatus::detected, {}, 0};
+  return {RsStatus::ok, std::move(f), dist};
+}
+
+ScheduledDecode rs_decode_scheduled(const std::vector<RsPoint>& points,
+                                    int ts, int ta) {
+  NAMPC_REQUIRE(ts >= ta && ta >= 0, "rs_decode_scheduled: need ts >= ta >= 0");
+  const int m = static_cast<int>(points.size());
+  const int x = m - (ts + ta + 1);
+  NAMPC_REQUIRE(x >= 0, "rs_decode_scheduled: fewer than ts+ta+1 points");
+  ScheduledDecode out;
+  if (x <= ta) {
+    out.e = x;
+    out.e_detect = ta - x;
+  } else {
+    out.e = ta;
+    out.e_detect = x - ta;
+  }
+  out.result = rs_decode(points, ts, out.e);
+  return out;
+}
+
+}  // namespace nampc

@@ -1,0 +1,62 @@
+// Reed-Solomon decoding with simultaneous error correction and detection
+// (§3.5, Theorem 3.2, Corollaries 3.3/3.4 — the machinery behind Table 1).
+//
+// A codeword of a degree-k polynomial f is the vector (f(x_1),...,f(x_N)).
+// Given a received word with at most t corrupted positions, the decoder
+// parameterised by (e, e') with e+e' <= t and N-k-1 >= 2e+e':
+//   * corrects and returns f whenever the actual error count s <= e;
+//   * otherwise reports "more than e errors" (detection) — it never returns
+//     a wrong polynomial as long as s <= e+e'.
+//
+// The implementation is Berlekamp-Welch: find E(x) monic of degree e and
+// Q(x) of degree <= k+e with Q(x_i) = y_i E(x_i) for all i; then f = Q/E.
+// Candidate acceptance additionally checks distance(f, word) <= e, which is
+// what makes detection sound (see the discussion after Theorem 3.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "poly/polynomial.h"
+
+namespace nampc {
+
+/// One received evaluation: y claimed to equal f(x).
+struct RsPoint {
+  Fp x;
+  Fp y;
+};
+
+enum class RsStatus {
+  ok,        ///< corrected; polynomial is within distance e of the word
+  detected,  ///< provably more than e errors present
+};
+
+struct RsDecodeResult {
+  RsStatus status = RsStatus::detected;
+  Polynomial poly;  ///< valid iff status == ok
+  int distance = 0; ///< mismatches between poly and the word (iff ok)
+};
+
+/// Berlekamp-Welch decode of a degree <= k polynomial from `points`,
+/// correcting up to e errors. points.size() >= k + 2e + 1 is required for
+/// the correction guarantee; fewer points make the system underdetermined
+/// and the call is rejected.
+[[nodiscard]] RsDecodeResult rs_decode(const std::vector<RsPoint>& points,
+                                       int k, int e);
+
+/// Convenience used by the protocols: decode with the (e, e') schedule of
+/// Corollaries 3.3/3.4. Given m = ts + ta + 1 + x received points for a
+/// degree-ts polynomial:
+///   x <= ta : correct up to x,  detect up to ta - x   (Cor 3.3)
+///   x >  ta : correct up to ta, detect up to x - ta   (Cor 3.4)
+/// Returns the decode result plus the e used.
+struct ScheduledDecode {
+  RsDecodeResult result;
+  int e = 0;
+  int e_detect = 0;
+};
+[[nodiscard]] ScheduledDecode rs_decode_scheduled(
+    const std::vector<RsPoint>& points, int ts, int ta);
+
+}  // namespace nampc

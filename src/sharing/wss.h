@@ -1,0 +1,233 @@
+// Weak Secret Sharing — Π_WSS (Protocols 6.1 and 6.2) — the paper's core
+// technical contribution, with the clique-extension machinery that achieves
+// optimal resiliency n > 2·max(ts,ta) + max(2ta,ts).
+//
+// The dealer shares a *vector* of secrets (DESIGN.md substitution #5), one
+// symmetric (ts,ts)-bivariate polynomial per secret embedded via its row-0
+// polynomial q_k: F_k(x,0) = q_k(x). Party j's output is the vector of row
+// polynomials f_j^k(x) = F_k(x, j+1); its Shamir share of secret k is
+// f_j^k(0) = q_k(eval_point(j)).
+//
+// Structure per iteration (times relative to the iteration start S):
+//   S              dealer sends rows; broadcasts (U, rows of U)   [Π_BC]
+//   S+Δ            pairwise point exchange (sent once, rows never change)
+//   S+T_BC         every party broadcasts its report vector R_i   [Π_BC]
+//   S+2T_BC        dealer: grow W / find clique / (sync|restart|continue)
+//   S+3T_BC        parties: verify, Π_BA #1, conflict broadcasts for V
+//   S+4T_BC+T_BA   dealer: clique expansion or restart
+//   S+5T_BC+T_BA   parties: verify, Π_BA #2
+// In parallel, the action-based asynchronous path runs: AOK Acasts,
+// dealer-side Star/clique detection on the AOK graph A, (async, A, Qa).
+//
+// Z-conditioning (for use inside Π_VSS, §6 end / §7): when `z` is set, the
+// dealer keeps U, V, W ⊆ Z and silent cliquemates outside Z force a
+// (restart, {φ}) with the offender blacklisted from future cliques; the
+// iteration budget grows from ts-ta+1 to ts+1 accordingly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "broadcast/ba.h"
+#include "broadcast/bc.h"
+#include "graph/graph.h"
+#include "net/simulation.h"
+#include "poly/bivariate.h"
+#include "sharing/encoding.h"
+
+namespace nampc {
+
+struct WssOptions {
+  int num_secrets = 1;
+  /// Z-conditioned instance: U, V, W must stay inside this set (|Z| = ts-ta).
+  std::optional<PartySet> z;
+  /// Π_VSS mode (Protocol 7.1): pairwise checks run through inner Π_WSS
+  /// instances instead of direct point exchange, and every step after the
+  /// exchange shifts by `check_extra` (= T'_WSS).
+  bool inner_check = false;
+  Time check_extra = 0;
+
+  [[nodiscard]] int max_iterations(const ProtocolParams& p) const {
+    return z.has_value() || inner_check ? p.ts + 1 : p.ts - p.ta + 1;
+  }
+};
+
+/// Final state of one party in a WSS instance.
+enum class WssOutcome {
+  none,  ///< no output (permitted for a corrupt dealer)
+  rows,  ///< holds row polynomials consistent with the committed bivariates
+  bot,   ///< explicit ⊥ (corrupt dealer detected in a synchronous network)
+};
+
+class Wss : public ProtocolInstance {
+ public:
+  /// Fires once, when this party decides its output.
+  using OutputFn = std::function<void()>;
+
+  Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
+      WssOptions options, OutputFn on_output);
+
+  /// Dealer-side: share row-0 polynomials (degree <= ts, one per secret).
+  /// Must be called at nominal_start.
+  void start(std::vector<Polynomial> row0s);
+
+  [[nodiscard]] PartyId dealer() const { return dealer_; }
+  [[nodiscard]] WssOutcome outcome() const { return outcome_; }
+  [[nodiscard]] bool has_output() const { return outcome_ != WssOutcome::none; }
+  [[nodiscard]] Time output_time() const { return output_time_; }
+
+  /// Row polynomials (one per secret); valid iff outcome() == rows.
+  [[nodiscard]] const std::vector<Polynomial>& rows() const {
+    NAMPC_REQUIRE(outcome_ == WssOutcome::rows, "no row output");
+    return output_rows_;
+  }
+  /// This party's Shamir share of secret k.
+  [[nodiscard]] Fp share(int k) const {
+    return rows()[static_cast<std::size_t>(k)].eval(Fp(0));
+  }
+  /// The pairwise point this party holds for party j on secret k.
+  [[nodiscard]] Fp point_for(int k, int j) const {
+    return rows()[static_cast<std::size_t>(k)].eval(eval_point(j));
+  }
+
+  /// Honest parties whose full rows became public in this instance
+  /// (privacy audit; must stay within Z and within ts - ta).
+  [[nodiscard]] PartySet revealed_parties() const { return revealed_; }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  enum MsgType { kRow = 1, kPoint = 2 };
+
+  struct Iteration {
+    int index = 0;
+    Time start = 0;
+    bool dealer_started = false;  // rows sent & pub broadcast begun
+    Bc* pub = nullptr;                  // (U, rows of U)
+    std::vector<Bc*> reports;           // R_i broadcasts
+    Bc* dealer_step5 = nullptr;         // sync / restart / continue
+    Bc* dealer_step8 = nullptr;         // sync / restart
+    Ba* ba1 = nullptr;
+    Ba* ba2 = nullptr;
+    // Parsed state:
+    PartySet u;                          // U from the pub broadcast
+    bool pub_valid = false;
+    std::vector<RVector> r_vectors;      // parsed R_j (empty = ⊥/missing)
+    std::optional<PartySet> continue_q;  // from a valid continue
+    std::optional<PartySet> continue_v;
+    Graph continue_g;
+    std::map<std::pair<int, int>, Bc*> conflict_bcs;  // (speaker, about)
+    bool conflicts_started = false;
+    bool rows_by_delta = false;          // dealer rows arrived by S+Δ
+    std::optional<PartySet> pending_sync_qa;  // accepted after BA said 1
+    Graph pending_sync_g;
+    bool ba1_value = false;
+    bool ba2_value = false;
+    bool ba1_done = false;
+    bool ba2_done = false;
+  };
+
+  // --- shared helpers ---
+  [[nodiscard]] int ts() const { return params().ts; }
+  [[nodiscard]] int ta() const { return params().ta; }
+  [[nodiscard]] int num_secrets() const { return options_.num_secrets; }
+  [[nodiscard]] bool z_conditioned() const { return options_.z.has_value(); }
+  [[nodiscard]] bool i_am_dealer() const { return my_id() == dealer_; }
+  /// One iteration: 5*T_BC + 2*T_BA, plus T'_WSS in inner-check (VSS) mode.
+  [[nodiscard]] Time iteration_length() const {
+    return timing().wss_iter + options_.check_extra;
+  }
+  /// The pairwise check value this party holds for peer j (one per secret):
+  /// the directly exchanged point, or the inner-WSS output share.
+  [[nodiscard]] std::optional<FpVec> check_point_from(int j) const;
+  void start_inner_if_ready();
+  void on_inner_output(int j);
+
+  void begin_iteration(Time start_time);
+
+  // Party-side steps.
+  void step_send_points();
+  void step_report(Iteration& it);
+  void on_pub_broadcast(Iteration& it, const std::optional<Words>& payload);
+  void step_handle_dealer5(Iteration& it);
+  void start_conflict_broadcasts(Iteration& it);
+  void step_handle_dealer8(Iteration& it);
+  void on_ba1(Iteration& it, bool v);
+  void on_ba2(Iteration& it, bool v);
+  void retry_pending_accept(Iteration& it);
+  void schedule_restart(Iteration& it, Time nominal);
+
+  // Graph construction from broadcast state (shared with verification).
+  [[nodiscard]] Graph build_report_graph(const Iteration& it,
+                                         bool with_conflict_edges) const;
+  [[nodiscard]] bool verify_sync_qa(Iteration& it, const Graph& g,
+                                    PartySet qa, bool with_conflict_edges);
+
+  // Dealer-side steps.
+  void clamp_dealer_u();
+  void dealer_start_iteration(Iteration& it);
+  void dealer_step5(Iteration& it);
+  void dealer_step8(Iteration& it);
+  void dealer_check_async();
+
+  // Asynchronous path.
+  void maybe_send_aok(int j);
+  void on_aok(int i, int j);
+  void try_accept_async();
+
+  // Output machinery (Protocol 6.2).
+  void accept_qa(PartySet qa, PartySet u, int iteration_index, bool via_sync);
+  void try_reconstruct();
+  void decide_output(WssOutcome outcome, std::vector<Polynomial> rows);
+
+  // Dealer state.
+  PartyId dealer_;
+  Time nominal_start_;
+  WssOptions options_;
+  OutputFn on_output_;
+  std::vector<SymBivariate> bivariates_;  // dealer only
+  std::vector<Polynomial> dealer_row0s_;  // dealer only
+  PartySet dealer_u_;                     // U, grows across iterations
+  PartySet dealer_blacklist_;             // silent non-Z cliquemates
+  bool dealer_async_sent_ = false;
+  Graph dealer_async_graph_;
+
+  // Party state.
+  std::vector<std::unique_ptr<Iteration>> iterations_;
+  std::vector<Polynomial> rows_;  // rows received from the dealer
+  bool have_rows_ = false;
+  Time rows_time_ = -1;
+  bool points_sent_ = false;
+  std::map<PartyId, FpVec> peer_points_;       // pairwise points received
+  std::map<PartyId, FpVec> share_points_;      // 6.2 points from Q_a members
+  std::map<PartyId, std::vector<Polynomial>> published_rows_;
+  PartySet u_known_;                           // latest public U
+  std::vector<Wss*> inner_;                    // inner-check mode instances
+  bool inner_started_ = false;
+  PartySet aok_sent_;                          // AOKs this party Acast
+  std::vector<std::vector<Acast*>> aok_;       // aok_[i][j]: AOK_j by P_i
+  PartySet aok_edges_from_[64];                // received AOK_i->j
+  Acast* async_bcast_ = nullptr;               // dealer's (async, A, Qa)
+  std::optional<std::pair<Graph, PartySet>> async_candidate_;
+  PartySet async_u_;
+  bool discarded_ = false;
+
+  // Accepted output state.
+  bool accepted_ = false;
+  PartySet accepted_qa_;
+  PartySet accepted_u_;
+  int accepted_iteration_ = -1;
+  bool accepted_via_sync_ = false;
+  Time accept_time_ = -1;
+  bool reconstruct_armed_ = false;
+
+  WssOutcome outcome_ = WssOutcome::none;
+  std::vector<Polynomial> output_rows_;
+  Time output_time_ = -1;
+  PartySet revealed_;
+};
+
+}  // namespace nampc

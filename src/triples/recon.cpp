@@ -1,0 +1,106 @@
+#include "triples/recon.h"
+
+namespace nampc {
+
+namespace detail {
+
+bool OecEngine::add(PartyId from, const FpVec& shares) {
+  if (values_.has_value()) return false;
+  if (static_cast<int>(shares.size()) != width_) return false;  // malformed
+  if (!shares_.emplace(from, shares).second) return false;      // duplicate
+  return try_decode();
+}
+
+bool OecEngine::try_decode() {
+  const int m = static_cast<int>(shares_.size());
+  if (m < 2 * ts_ + 1) return false;
+  // Online error correction: try r = 0..ts, constrained by the point count
+  // (rs_decode needs m >= ts + 2r + 1).
+  FpVec out(static_cast<std::size_t>(width_));
+  for (int k = 0; k < width_; ++k) {
+    std::vector<RsPoint> pts;
+    pts.reserve(static_cast<std::size_t>(m));
+    for (const auto& [id, vals] : shares_) {
+      pts.push_back({eval_point(id), vals[static_cast<std::size_t>(k)]});
+    }
+    bool ok = false;
+    const int r_max = std::min(ts_, (m - ts_ - 1) / 2);
+    for (int r = 0; r <= r_max; ++r) {
+      const auto res = rs_decode(pts, ts_, r);
+      if (res.status != RsStatus::ok) continue;
+      // Protocol 9.1 step 2b: at least 2ts+1 shares agree with p_r.
+      if (m - res.distance >= 2 * ts_ + 1) {
+        out[static_cast<std::size_t>(k)] = res.poly.eval(Fp(0));
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;  // wait for more shares
+  }
+  values_ = std::move(out);
+  return true;
+}
+
+}  // namespace detail
+
+PrivRec::PrivRec(Party& party, std::string key, PartyId target, int width,
+                 OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)),
+      target_(target),
+      width_(width),
+      on_output_(std::move(on_output)),
+      engine_(n(), params().ts, width) {
+  NAMPC_REQUIRE(width >= 1, "width must be positive");
+}
+
+void PrivRec::start(const FpVec& my_shares) {
+  NAMPC_REQUIRE(static_cast<int>(my_shares.size()) == width_,
+                "share width mismatch");
+  Writer w;
+  for (Fp v : my_shares) w.u64(v.value());
+  send(target_, 1, std::move(w).take());
+}
+
+void PrivRec::on_message(const Message& msg) {
+  if (my_id() != target_ || msg.type != 1) return;
+  Reader r(msg.payload);
+  FpVec shares;
+  shares.reserve(static_cast<std::size_t>(width_));
+  for (int k = 0; k < width_ && r.remaining() > 0; ++k) {
+    shares.emplace_back(r.u64());
+  }
+  if (engine_.add(msg.from, shares) && on_output_) {
+    on_output_(engine_.values());
+  }
+}
+
+PubRec::PubRec(Party& party, std::string key, int width, OutputFn on_output)
+    : ProtocolInstance(party, std::move(key)),
+      width_(width),
+      on_output_(std::move(on_output)),
+      engine_(n(), params().ts, width) {
+  NAMPC_REQUIRE(width >= 1, "width must be positive");
+}
+
+void PubRec::start(const FpVec& my_shares) {
+  NAMPC_REQUIRE(static_cast<int>(my_shares.size()) == width_,
+                "share width mismatch");
+  Writer w;
+  for (Fp v : my_shares) w.u64(v.value());
+  send_all(1, std::move(w).take());
+}
+
+void PubRec::on_message(const Message& msg) {
+  if (msg.type != 1) return;
+  Reader r(msg.payload);
+  FpVec shares;
+  shares.reserve(static_cast<std::size_t>(width_));
+  for (int k = 0; k < width_ && r.remaining() > 0; ++k) {
+    shares.emplace_back(r.u64());
+  }
+  if (engine_.add(msg.from, shares) && on_output_) {
+    on_output_(engine_.values());
+  }
+}
+
+}  // namespace nampc

@@ -1,0 +1,95 @@
+// Reconstruction of degree-ts Shamir sharings — Π_privRec (Protocol 9.1).
+//
+// Every party sends its share(s) to the target, which runs online error
+// correction: for r = 0, 1, ..., ts it looks for a degree-ts polynomial
+// within distance r of the received word that agrees with at least 2ts+1
+// shares. Correct in both networks (Theorem 9.2): synchronous — by Δ all
+// honest shares are in and up to ts errors get corrected; asynchronous —
+// eventually n - ta >= 2ts + ta + 1 honest shares arrive and up to ta
+// errors get corrected.
+//
+// PubRec is the reconstruct-towards-all variant (each party is a target).
+// Both are batched: `width` values are reconstructed per instance.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/simulation.h"
+#include "poly/polynomial.h"
+#include "rs/reed_solomon.h"
+
+namespace nampc {
+
+namespace detail {
+/// Shared OEC engine: feed (sender, shares) pairs, harvest values.
+class OecEngine {
+ public:
+  OecEngine(int n, int ts, int width) : n_(n), ts_(ts), width_(width) {}
+
+  /// Returns true exactly once, when reconstruction first succeeds.
+  bool add(PartyId from, const FpVec& shares);
+
+  [[nodiscard]] bool done() const { return values_.has_value(); }
+  [[nodiscard]] const FpVec& values() const {
+    NAMPC_REQUIRE(values_.has_value(), "reconstruction incomplete");
+    return *values_;
+  }
+
+ private:
+  [[nodiscard]] bool try_decode();
+
+  int n_;
+  int ts_;
+  int width_;
+  std::map<PartyId, FpVec> shares_;
+  std::optional<FpVec> values_;
+};
+}  // namespace detail
+
+/// Reconstruction towards a single party.
+class PrivRec : public ProtocolInstance {
+ public:
+  using OutputFn = std::function<void(const FpVec&)>;
+
+  PrivRec(Party& party, std::string key, PartyId target, int width,
+          OutputFn on_output);
+
+  /// Contributes this party's shares (any time; message-driven protocol).
+  void start(const FpVec& my_shares);
+
+  [[nodiscard]] bool has_output() const { return engine_.done(); }
+  [[nodiscard]] const FpVec& values() const { return engine_.values(); }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  PartyId target_;
+  int width_;
+  OutputFn on_output_;
+  detail::OecEngine engine_;
+};
+
+/// Reconstruction towards everyone (shares broadcast point-to-point; each
+/// party runs its own OEC).
+class PubRec : public ProtocolInstance {
+ public:
+  using OutputFn = std::function<void(const FpVec&)>;
+
+  PubRec(Party& party, std::string key, int width, OutputFn on_output);
+
+  void start(const FpVec& my_shares);
+
+  [[nodiscard]] bool has_output() const { return engine_.done(); }
+  [[nodiscard]] const FpVec& values() const { return engine_.values(); }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  int width_;
+  OutputFn on_output_;
+  detail::OecEngine engine_;
+};
+
+}  // namespace nampc

@@ -1,0 +1,55 @@
+// Triple extraction — Π_tripleExt (Protocol 9.5, Theorem 9.6).
+//
+// Consumes one verified multiplication triple from each of m = 2h+1 dealers
+// (each known to its dealer) and extracts h+1-ts triples that are random
+// and unknown to everyone: the m triples are transformed into points of
+// degree-h polynomials X, Y (and degree-2h Z = X·Y, completed by h Beaver
+// multiplications), of which the adversary knows at most ts points; the
+// outputs are the sharings of X, Y, Z at fresh evaluation points β_j.
+//
+// Batched: each dealer contributes `width` triples; extraction runs
+// component-wise, producing width·(h+1-ts) output triples.
+#pragma once
+
+#include <functional>
+
+#include "triples/beaver.h"
+
+namespace nampc {
+
+class TripleExt : public ProtocolInstance {
+ public:
+  /// Delivers this party's shares of the extracted triples.
+  using OutputFn = std::function<void(const TripleShares&)>;
+
+  TripleExt(Party& party, std::string key, int num_dealers, int width,
+            OutputFn on_output);
+
+  /// Contributes this party's shares of the m dealers' triples (ordered;
+  /// each entry has `width` triples).
+  void start(std::vector<TripleShares> dealer_triples);
+
+  /// Extracted triples per consumed batch: h + 1 - ts with h = (m-1)/2.
+  [[nodiscard]] int extracted_per_batch() const { return h_ + 1 - params().ts; }
+  [[nodiscard]] bool has_output() const { return done_; }
+  [[nodiscard]] const TripleShares& triples() const {
+    NAMPC_REQUIRE(done_, "extraction incomplete");
+    return output_;
+  }
+
+  void on_message(const Message& msg) override;
+
+ private:
+  void on_beaver(const FpVec& z);
+
+  int m_;      // dealers consumed (odd; callers pass an odd count)
+  int h_;      // (m-1)/2
+  int width_;  // triples consumed per dealer
+  OutputFn on_output_;
+  Beaver* beaver_ = nullptr;
+  std::vector<TripleShares> inputs_;
+  bool done_ = false;
+  TripleShares output_;
+};
+
+}  // namespace nampc

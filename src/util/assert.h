@@ -1,0 +1,48 @@
+// Invariant checking for the nampc library.
+//
+// NAMPC_REQUIRE is used for preconditions on public APIs (caller bugs) and
+// NAMPC_ASSERT for internal invariants. Both throw nampc::InvariantError so
+// tests can assert on misuse, and both stay enabled in release builds: this
+// library is a research artifact whose value is the fidelity of its checks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nampc {
+
+/// Thrown when a precondition or internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failure(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace nampc
+
+#define NAMPC_REQUIRE(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::nampc::detail::invariant_failure("precondition", #cond,         \
+                                         __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (false)
+
+#define NAMPC_ASSERT(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::nampc::detail::invariant_failure("invariant", #cond,            \
+                                         __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,54 @@
+// Minimal leveled logger for simulation tracing.
+//
+// Logging is global but cheap when disabled (a level check). Protocol code
+// logs through NAMPC_LOG(level) << ...; the simulator prefixes virtual time
+// and party id via Simulation's own wrapper.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nampc {
+
+enum class LogLevel : int { off = 0, error = 1, info = 2, debug = 3, trace = 4 };
+
+/// Global log configuration. Default: errors only.
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::error;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+};
+
+namespace detail {
+/// Collects one log line and flushes it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : enabled_(Log::enabled(lvl)) {}
+  ~LogLine() {
+    if (enabled_) std::cerr << os_.str() << '\n';
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace nampc
+
+#define NAMPC_LOG(lvl) ::nampc::detail::LogLine(::nampc::LogLevel::lvl)

@@ -1,0 +1,40 @@
+// Run metrics collected by the simulator and the protocol stack.
+//
+// Benchmarks and tests read these counters to report message/byte complexity
+// and to audit the privacy invariants (number of honest univariate
+// polynomials revealed must never exceed ts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nampc {
+
+/// Mutable counters shared by one simulation run.
+struct Metrics {
+  std::uint64_t messages_sent = 0;       ///< point-to-point sends
+  std::uint64_t words_sent = 0;          ///< total payload words
+  std::uint64_t events_processed = 0;    ///< DES events executed
+  std::uint64_t acast_instances = 0;
+  std::uint64_t bc_instances = 0;
+  std::uint64_t ba_instances = 0;
+  std::uint64_t aba_rounds = 0;
+  std::uint64_t wss_instances = 0;
+  std::uint64_t wss_restarts = 0;
+  std::uint64_t vss_instances = 0;
+  std::uint64_t beaver_mults = 0;
+  std::uint64_t rs_decodes = 0;
+  std::uint64_t field_mults = 0;         ///< sampled only where instrumented
+
+  /// Privacy audit: per (dealer id) count of honest univariate polynomials
+  /// made public during sharing protocols. Proofs require each <= ts.
+  std::map<int, std::uint64_t> honest_polys_revealed;
+
+  /// Free-form named counters for protocol-specific accounting.
+  std::map<std::string, std::uint64_t> named;
+
+  void bump(const std::string& key, std::uint64_t by = 1) { named[key] += by; }
+};
+
+}  // namespace nampc

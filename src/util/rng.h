@@ -1,0 +1,73 @@
+// Deterministic randomness for simulations.
+//
+// Every run of the simulator is reproducible from a single 64-bit seed.
+// Rng wraps a SplitMix64-seeded xoshiro-style generator (std::mt19937_64 is
+// adequate and standard; we keep it behind this interface so protocols never
+// touch a raw engine) and supports deriving independent child streams, which
+// the simulator uses to give each party / protocol instance its own stream
+// without cross-contamination when instances are created in different orders.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace nampc {
+
+/// Deterministic pseudo-random stream with named sub-stream derivation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(mix(seed)), seed_hint_(mix(seed ^ 0xa5a5a5a5ull)) {}
+
+  /// Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+    return dist(engine_);
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  [[nodiscard]] bool next_bool() { return (engine_() & 1u) != 0; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Derives an independent child stream from a label. Deterministic:
+  /// the same parent seed and label always produce the same child.
+  [[nodiscard]] Rng derive(std::string_view label) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the label
+    for (char c : label) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    return Rng(mix(seed_hint_ ^ h));
+  }
+
+  /// Stateless hash usable as an "oracle" common coin: every party computes
+  /// the same bit from (seed, label, round) without communication.
+  [[nodiscard]] static bool oracle_coin(std::uint64_t seed,
+                                        std::string_view label,
+                                        std::uint64_t round) {
+    std::uint64_t h = mix(seed);
+    for (char c : label) h = mix(h ^ static_cast<std::uint8_t>(c));
+    h = mix(h ^ round);
+    return (h & 1u) != 0;
+  }
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t x) {
+    // SplitMix64 finalizer.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_hint_ = 0x243f6a8885a308d3ull;
+};
+
+}  // namespace nampc

@@ -1,0 +1,32 @@
+#include "util/small_set.h"
+
+#include <sstream>
+
+namespace nampc {
+
+std::vector<int> PartySet::to_vector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  std::uint64_t m = mask_;
+  while (m != 0) {
+    const int id = __builtin_ctzll(m);
+    out.push_back(id);
+    m &= m - 1;
+  }
+  return out;
+}
+
+std::string PartySet::str() const {
+  std::ostringstream os;
+  os << '{';
+  bool first_entry = true;
+  for (int id : to_vector()) {
+    if (!first_entry) os << ',';
+    os << id;
+    first_entry = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace nampc

@@ -1,0 +1,101 @@
+// PartySet: a set of party indices backed by a 64-bit mask.
+//
+// Protocol state is dominated by small sets of parties (U, V, W, Z, cliques,
+// stars, Com). A bitmask keeps them value-typed, hashable, orderable and
+// cheap to copy into broadcast payloads. The library supports n <= 24 (the
+// paper's constructions are exponential in n anyway), far below the 64-party
+// capacity here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace nampc {
+
+/// Value-type set of party indices in [0, 64).
+class PartySet {
+ public:
+  constexpr PartySet() = default;
+  constexpr explicit PartySet(std::uint64_t mask) : mask_(mask) {}
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr PartySet full(int n) {
+    return PartySet(n >= 64 ? ~0ull : ((1ull << n) - 1));
+  }
+
+  static PartySet of(std::initializer_list<int> ids) {
+    PartySet s;
+    for (int id : ids) s.insert(id);
+    return s;
+  }
+
+  static PartySet from_vector(const std::vector<int>& ids) {
+    PartySet s;
+    for (int id : ids) s.insert(id);
+    return s;
+  }
+
+  void insert(int id) {
+    NAMPC_REQUIRE(id >= 0 && id < 64, "party id out of range");
+    mask_ |= (1ull << id);
+  }
+  void erase(int id) {
+    NAMPC_REQUIRE(id >= 0 && id < 64, "party id out of range");
+    mask_ &= ~(1ull << id);
+  }
+  [[nodiscard]] bool contains(int id) const {
+    return id >= 0 && id < 64 && ((mask_ >> id) & 1u) != 0;
+  }
+
+  [[nodiscard]] int size() const { return __builtin_popcountll(mask_); }
+  [[nodiscard]] bool empty() const { return mask_ == 0; }
+  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+
+  [[nodiscard]] PartySet union_with(PartySet o) const { return PartySet(mask_ | o.mask_); }
+  [[nodiscard]] PartySet intersect(PartySet o) const { return PartySet(mask_ & o.mask_); }
+  [[nodiscard]] PartySet minus(PartySet o) const { return PartySet(mask_ & ~o.mask_); }
+  [[nodiscard]] bool subset_of(PartySet o) const { return (mask_ & ~o.mask_) == 0; }
+
+  friend bool operator==(PartySet a, PartySet b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(PartySet a, PartySet b) { return a.mask_ != b.mask_; }
+  friend bool operator<(PartySet a, PartySet b) { return a.mask_ < b.mask_; }
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<int> to_vector() const;
+
+  /// First member >= 0, or -1 if empty.
+  [[nodiscard]] int first() const {
+    return mask_ == 0 ? -1 : __builtin_ctzll(mask_);
+  }
+
+  /// Human-readable "{0,3,5}".
+  [[nodiscard]] std::string str() const;
+
+  /// Iterates over all subsets of {0..n-1} with exactly k elements, calling
+  /// fn(PartySet) for each, in increasing mask order.
+  template <typename Fn>
+  static void for_each_subset(int n, int k, Fn&& fn) {
+    NAMPC_REQUIRE(n >= 0 && n < 64 && k >= 0, "bad subset parameters");
+    if (k > n) return;
+    if (k == 0) {
+      fn(PartySet{});
+      return;
+    }
+    // Gosper's hack: iterate k-bit submasks of n bits in increasing order.
+    std::uint64_t v = (1ull << k) - 1;
+    const std::uint64_t limit = 1ull << n;
+    while (v < limit) {
+      fn(PartySet(v));
+      const std::uint64_t t = v | (v - 1);
+      v = (t + 1) | (((~t & (t + 1)) - 1) >> (__builtin_ctzll(v) + 1));
+    }
+  }
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace nampc

@@ -1,0 +1,41 @@
+// Shared helpers for protocol tests: simulation construction and common
+// adversaries.
+#pragma once
+
+#include <memory>
+
+#include "adversary/scripted.h"
+#include "net/simulation.h"
+
+namespace nampc::testing {
+
+struct SimSpec {
+  ProtocolParams params{4, 1, 0};
+  NetworkKind kind = NetworkKind::synchronous;
+  std::uint64_t seed = 7;
+  bool ideal = false;
+  bool local_coins = false;
+  Time delta = 10;
+};
+
+inline std::unique_ptr<Simulation> make_sim(
+    const SimSpec& spec,
+    std::shared_ptr<Adversary> adversary = nullptr) {
+  Simulation::Config cfg;
+  cfg.params = spec.params;
+  cfg.kind = spec.kind;
+  cfg.delta = spec.delta;
+  cfg.seed = spec.seed;
+  cfg.ideal_primitives = spec.ideal;
+  cfg.local_coins = spec.local_coins;
+  if (!adversary) adversary = std::make_shared<Adversary>();
+  return std::make_unique<Simulation>(cfg, std::move(adversary));
+}
+
+/// Canonical parameter points from DESIGN.md §4.
+inline ProtocolParams p4_1_0() { return {4, 1, 0}; }
+inline ProtocolParams p5_1_1() { return {5, 1, 1}; }
+inline ProtocolParams p7_2_1() { return {7, 2, 1}; }
+inline ProtocolParams p10_3_1() { return {10, 3, 1}; }
+
+}  // namespace nampc::testing

@@ -1,0 +1,160 @@
+// Protocol tests: Π_ACS (Protocol 4.9, Theorem 4.10) and the generalized
+// slot-ACS used by the two-layer agreement of §2.3.
+#include <gtest/gtest.h>
+
+#include "acs/acs.h"
+#include "sim_helpers.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+struct AcsHarness {
+  std::unique_ptr<Simulation> sim;
+  std::vector<Acs*> instances;
+
+  explicit AcsHarness(const SimSpec& spec,
+                      std::shared_ptr<Adversary> adv = nullptr)
+      : sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances.push_back(&sim->party(i).spawn<Acs>("acs", 0, nullptr));
+    }
+  }
+};
+
+struct AcsCase {
+  NetworkKind kind;
+  bool ideal;
+};
+
+class AcsModeTest : public ::testing::TestWithParam<AcsCase> {};
+
+TEST_P(AcsModeTest, AllHonestMarkedAtOnset) {
+  const auto& c = GetParam();
+  AcsHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal});
+  // Synchronous input guarantee: every honest party marks every honest party
+  // at the onset.
+  for (Acs* acs : h.instances) {
+    for (int j = 0; j < 7; ++j) acs->mark(j);
+  }
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  std::optional<PartySet> com;
+  for (Acs* acs : h.instances) {
+    ASSERT_TRUE(acs->has_output());
+    if (!com.has_value()) com = acs->output();
+    EXPECT_EQ(acs->output(), *com);  // agreement on the set
+  }
+  EXPECT_GE(com->size(), 7 - 2);
+}
+
+TEST_P(AcsModeTest, SilentCorruptPartiesExcludedButQuorumMet) {
+  const auto& c = GetParam();
+  const int budget = c.kind == NetworkKind::synchronous ? 2 : 1;
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(6 - i);
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  for (int id : corrupt.to_vector()) adv->silence(id);
+  AcsHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal},
+               adv);
+  // Honest parties mark only honest parties (corrupt never satisfied prop).
+  for (int i = 0; i < 7; ++i) {
+    if (corrupt.contains(i)) continue;
+    for (int j = 0; j < 7; ++j) {
+      if (!corrupt.contains(j)) h.instances[static_cast<std::size_t>(i)]->mark(j);
+    }
+  }
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  std::optional<PartySet> com;
+  for (int i = 0; i < 7; ++i) {
+    if (corrupt.contains(i)) continue;
+    Acs* acs = h.instances[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(acs->has_output());
+    if (!com.has_value()) com = acs->output();
+    EXPECT_EQ(acs->output(), *com);
+  }
+  EXPECT_GE(com->size(), 7 - 2);
+  // Theorem 4.10: every member of Com was marked by some honest party, so
+  // silent corrupt parties cannot be in it.
+  EXPECT_TRUE(com->intersect(corrupt).empty());
+}
+
+TEST_P(AcsModeTest, SyncCompletesByTacs) {
+  const auto& c = GetParam();
+  if (c.kind != NetworkKind::synchronous) GTEST_SKIP();
+  AcsHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal});
+  for (Acs* acs : h.instances) {
+    for (int j = 0; j < 7; ++j) acs->mark(j);
+  }
+  bool done_by_tacs = true;
+  h.sim->schedule(h.sim->timing().t_acs, [&] {
+    for (Acs* acs : h.instances) {
+      if (!acs->has_output()) done_by_tacs = false;
+    }
+  });
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(done_by_tacs);
+}
+
+TEST_P(AcsModeTest, LateMarksStillTerminate) {
+  const auto& c = GetParam();
+  if (c.kind != NetworkKind::asynchronous) GTEST_SKIP();
+  AcsHarness h({.params = testing::p5_1_1(), .kind = c.kind, .ideal = c.ideal});
+  // Parties learn about peers at staggered times (the async input guarantee:
+  // eventually every honest party marks every honest party).
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      const Time when = static_cast<Time>(37 * (i + 2 * j + 1));
+      Acs* acs = h.instances[static_cast<std::size_t>(i)];
+      h.sim->schedule(when, [acs, j] { acs->mark(j); });
+    }
+  }
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  std::optional<PartySet> com;
+  for (Acs* acs : h.instances) {
+    ASSERT_TRUE(acs->has_output());
+    if (!com.has_value()) com = acs->output();
+    EXPECT_EQ(acs->output(), *com);
+  }
+  EXPECT_GE(com->size(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AcsModeTest,
+    ::testing::Values(AcsCase{NetworkKind::synchronous, false},
+                      AcsCase{NetworkKind::synchronous, true},
+                      AcsCase{NetworkKind::asynchronous, false},
+                      AcsCase{NetworkKind::asynchronous, true}));
+
+TEST(SlotAcs, QuorumOneAgreesOnSomeMarkedSlot) {
+  // The second ACS layer of §2.3: k candidate instances, quorum 1.
+  SimSpec spec{.params = testing::p5_1_1(), .kind = NetworkKind::asynchronous,
+               .ideal = true};
+  auto sim = make_sim(spec);
+  std::vector<AcsCore*> cores;
+  for (int i = 0; i < 5; ++i) {
+    cores.push_back(
+        &sim->party(i).spawn<AcsCore>("layer2", 0, /*num_slots=*/6,
+                                      /*quorum=*/1, nullptr));
+  }
+  // Every honest party eventually marks slot 3 (the "good subset"), some
+  // also mark slot 1.
+  for (int i = 0; i < 5; ++i) {
+    sim->schedule(10 * (i + 1), [&, i] {
+      cores[static_cast<std::size_t>(i)]->mark(3);
+      if (i % 2 == 0) cores[static_cast<std::size_t>(i)]->mark(1);
+    });
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  std::optional<PartySet> out;
+  for (AcsCore* core : cores) {
+    ASSERT_TRUE(core->has_output());
+    if (!out.has_value()) out = core->output();
+    EXPECT_EQ(core->output(), *out);
+  }
+  EXPECT_GE(out->size(), 1);
+}
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,304 @@
+// Protocol tests: Acast (Lemma 4.4), Π_BC (Lemma 4.6), Π_BA (Lemma 4.8),
+// in both networks, with honest and corrupt senders, Full and Ideal modes.
+#include <gtest/gtest.h>
+
+#include "broadcast/ba.h"
+#include "broadcast/bc.h"
+#include "sim_helpers.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+Words words_of(std::initializer_list<Word> ws) { return Words(ws); }
+
+// ---------------------------------------------------------------- Acast --
+
+struct AcastHarness {
+  std::unique_ptr<Simulation> sim;
+  std::vector<Acast*> instances;
+
+  explicit AcastHarness(const SimSpec& spec,
+                        std::shared_ptr<Adversary> adv = nullptr)
+      : sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances.push_back(&sim->party(i).spawn<Acast>("acast", 0, nullptr));
+    }
+  }
+};
+
+class AcastNetworkTest : public ::testing::TestWithParam<NetworkKind> {};
+
+TEST_P(AcastNetworkTest, HonestSenderAllOutputs) {
+  AcastHarness h({.params = testing::p7_2_1(), .kind = GetParam()});
+  const Words m = words_of({1, 2, 3});
+  h.instances[0]->start(m);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  for (Acast* a : h.instances) {
+    ASSERT_TRUE(a->has_output());
+    EXPECT_EQ(a->output(), m);
+    if (GetParam() == NetworkKind::synchronous) {
+      EXPECT_LE(a->output_time(), 3 * h.sim->timing().delta);
+    }
+  }
+}
+
+TEST_P(AcastNetworkTest, SilentSenderNobodyOutputs) {
+  auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({0}));
+  adv->silence(0);
+  AcastHarness h({.params = testing::p7_2_1(), .kind = GetParam()}, adv);
+  h.instances[0]->start(words_of({9}));
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  for (Acast* a : h.instances) EXPECT_FALSE(a->has_output());
+}
+
+TEST_P(AcastNetworkTest, EquivocatingSenderStaysConsistent) {
+  // Sender sends different init values to different parties; consistency
+  // requires all honest outputs (if any) to be identical.
+  auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({0}));
+  adv->add_rule(
+      [](const Message& m, Time) {
+        return m.from == 0 && m.type == 1;  // Acast kInit
+      },
+      [](const Message& m, Time, Rng&) {
+        SendDecision d;
+        Message alt = m;
+        alt.payload = Words{static_cast<Word>(100 + m.to % 2)};
+        d.replacement = std::move(alt);
+        return d;
+      });
+  AcastHarness h({.params = testing::p7_2_1(), .kind = GetParam()}, adv);
+  h.instances[0]->start(words_of({77}));
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  std::optional<Words> seen;
+  for (int i = 1; i < 7; ++i) {
+    if (h.instances[static_cast<std::size_t>(i)]->has_output()) {
+      const Words& out = h.instances[static_cast<std::size_t>(i)]->output();
+      if (seen.has_value()) {
+        EXPECT_EQ(out, *seen);
+      } else {
+        seen = out;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, AcastNetworkTest,
+                         ::testing::Values(NetworkKind::synchronous,
+                                           NetworkKind::asynchronous));
+
+// ------------------------------------------------------------------ BC --
+
+struct BcHarness {
+  std::unique_ptr<Simulation> sim;
+  std::vector<Bc*> instances;
+
+  explicit BcHarness(const SimSpec& spec, PartyId sender,
+                     std::shared_ptr<Adversary> adv = nullptr)
+      : sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances.push_back(
+          &sim->party(i).spawn<Bc>("bc", sender, /*nominal_start=*/0, nullptr));
+    }
+  }
+};
+
+struct BcCase {
+  NetworkKind kind;
+  bool ideal;
+};
+
+class BcModeTest : public ::testing::TestWithParam<BcCase> {};
+
+TEST_P(BcModeTest, HonestSenderDeliversByTbc) {
+  const auto& c = GetParam();
+  BcHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal},
+              0);
+  const Words m = words_of({5, 6});
+  h.instances[0]->start(m);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  for (Bc* bc : h.instances) {
+    ASSERT_TRUE(bc->regular_done());
+    if (c.kind == NetworkKind::synchronous) {
+      // Lemma 4.6 sync validity: regular-mode output m.
+      ASSERT_TRUE(bc->regular_output().has_value());
+      EXPECT_EQ(*bc->regular_output(), m);
+    } else {
+      // Async weak validity: m or ⊥ regular; fallback upgrades ⊥ to m.
+      ASSERT_TRUE(bc->current_output().has_value());
+      EXPECT_EQ(*bc->current_output(), m);
+    }
+  }
+}
+
+TEST_P(BcModeTest, SilentSenderGivesBotEverywhere) {
+  const auto& c = GetParam();
+  auto adv = std::make_shared<ScriptedAdversary>(
+      PartySet::of({1}));
+  adv->silence(1);
+  BcHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal},
+              1, adv);
+  h.instances[1]->start(words_of({3}));
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  for (Bc* bc : h.instances) {
+    EXPECT_TRUE(bc->regular_done());
+    EXPECT_FALSE(bc->regular_output().has_value());
+    EXPECT_FALSE(bc->current_output().has_value());
+  }
+}
+
+TEST_P(BcModeTest, SyncConsistencyUnderEquivocation) {
+  const auto& c = GetParam();
+  if (c.kind != NetworkKind::synchronous) GTEST_SKIP();
+  auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({2}));
+  adv->add_rule(
+      [](const Message& m, Time) {
+        return m.from == 2 && m.type == 1 &&
+               m.instance.find("acast") != std::string::npos;
+      },
+      [](const Message& m, Time, Rng&) {
+        SendDecision d;
+        Message alt = m;
+        alt.payload = Words{static_cast<Word>(m.to % 2)};
+        d.replacement = std::move(alt);
+        return d;
+      });
+  BcHarness h({.params = testing::p7_2_1(), .kind = c.kind, .ideal = c.ideal},
+              2, adv);
+  h.instances[2]->start(words_of({1}));
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  // Lemma 4.6 sync consistency: all honest regular outputs identical.
+  const auto& ref = h.instances[0]->regular_output();
+  for (int i = 0; i < 7; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(h.instances[static_cast<std::size_t>(i)]->regular_output(), ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, BcModeTest,
+    ::testing::Values(BcCase{NetworkKind::synchronous, false},
+                      BcCase{NetworkKind::synchronous, true},
+                      BcCase{NetworkKind::asynchronous, false},
+                      BcCase{NetworkKind::asynchronous, true}));
+
+// ------------------------------------------------------------------ BA --
+
+struct BaHarness {
+  std::unique_ptr<Simulation> sim;
+  std::vector<Ba*> instances;
+
+  explicit BaHarness(const SimSpec& spec,
+                     std::shared_ptr<Adversary> adv = nullptr)
+      : sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances.push_back(
+          &sim->party(i).spawn<Ba>("ba", /*nominal_start=*/0, nullptr));
+    }
+  }
+
+  void start_with(const std::vector<bool>& inputs) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances[static_cast<std::size_t>(i)]->start(
+          inputs[static_cast<std::size_t>(i)]);
+    }
+  }
+};
+
+struct BaCase {
+  NetworkKind kind;
+  bool ideal;
+  bool local_coins;
+};
+
+class BaModeTest : public ::testing::TestWithParam<BaCase> {};
+
+TEST_P(BaModeTest, ValidityUnanimousInput) {
+  const auto& c = GetParam();
+  for (bool bit : {false, true}) {
+    BaHarness h({.params = testing::p7_2_1(),
+                 .kind = c.kind,
+                 .seed = 17,
+                 .ideal = c.ideal,
+                 .local_coins = c.local_coins});
+    h.start_with(std::vector<bool>(7, bit));
+    EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+    for (Ba* ba : h.instances) {
+      ASSERT_TRUE(ba->has_output());
+      EXPECT_EQ(ba->output(), bit);
+    }
+  }
+}
+
+TEST_P(BaModeTest, ConsistencyMixedInput) {
+  const auto& c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    BaHarness h({.params = testing::p7_2_1(),
+                 .kind = c.kind,
+                 .seed = seed,
+                 .ideal = c.ideal,
+                 .local_coins = c.local_coins});
+    h.start_with({true, false, true, false, true, false, true});
+    EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+    ASSERT_TRUE(h.instances[0]->has_output());
+    const bool v = h.instances[0]->output();
+    for (Ba* ba : h.instances) {
+      ASSERT_TRUE(ba->has_output());
+      EXPECT_EQ(ba->output(), v);
+    }
+  }
+}
+
+TEST_P(BaModeTest, ConsistencyWithCrashedParties) {
+  const auto& c = GetParam();
+  // One corrupt silent party (within budget for both networks at (7,2,1)).
+  auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({6}));
+  adv->silence(6);
+  BaHarness h({.params = testing::p7_2_1(),
+               .kind = c.kind,
+               .seed = 5,
+               .ideal = c.ideal,
+               .local_coins = c.local_coins},
+              adv);
+  h.start_with({true, true, false, false, true, false, true});
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  std::optional<bool> v;
+  for (int i = 0; i < 6; ++i) {
+    Ba* ba = h.instances[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(ba->has_output());
+    if (!v.has_value()) v = ba->output();
+    EXPECT_EQ(ba->output(), *v);
+  }
+}
+
+TEST_P(BaModeTest, SyncLivenessByTba) {
+  const auto& c = GetParam();
+  if (c.kind != NetworkKind::synchronous) GTEST_SKIP();
+  BaHarness h({.params = testing::p7_2_1(),
+               .kind = c.kind,
+               .ideal = c.ideal,
+               .local_coins = c.local_coins});
+  h.start_with(std::vector<bool>(7, true));
+  bool all_done_at_tba = true;
+  h.sim->schedule(h.sim->timing().t_ba, [&] {
+    for (Ba* ba : h.instances) {
+      if (!ba->has_output()) all_done_at_tba = false;
+    }
+  });
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(all_done_at_tba);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, BaModeTest,
+    ::testing::Values(BaCase{NetworkKind::synchronous, false, false},
+                      BaCase{NetworkKind::synchronous, true, false},
+                      BaCase{NetworkKind::asynchronous, false, false},
+                      BaCase{NetworkKind::asynchronous, true, false},
+                      BaCase{NetworkKind::synchronous, false, true},
+                      BaCase{NetworkKind::asynchronous, false, true}));
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,141 @@
+// Cross-check: the Ideal primitive mode (DESIGN.md substitution #3) must be
+// observationally equivalent to the Full implementations — same protocol
+// outputs, same decisions — across the sharing stack and agreement layers.
+// (Virtual times differ slightly; the *values* must not.)
+#include <gtest/gtest.h>
+
+#include "acs/acs.h"
+#include "sharing/vss.h"
+#include "sim_helpers.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+struct XCase {
+  NetworkKind kind;
+  std::uint64_t seed;
+};
+
+class CrossCheckTest : public ::testing::TestWithParam<XCase> {};
+
+TEST_P(CrossCheckTest, BaDecisionsAgreeAcrossModes) {
+  const auto& c = GetParam();
+  const ProtocolParams p{7, 2, 1};
+  std::vector<bool> decisions;
+  for (bool ideal : {false, true}) {
+    auto sim = make_sim(
+        {.params = p, .kind = c.kind, .seed = c.seed, .ideal = ideal});
+    std::vector<Ba*> inst;
+    for (int i = 0; i < p.n; ++i) {
+      inst.push_back(&sim->party(i).spawn<Ba>("ba", 0, nullptr));
+    }
+    // Mixed-but-majority-1 inputs: both modes must decide the same way in
+    // the synchronous network (where the BC layer fixes the plurality).
+    for (int i = 0; i < p.n; ++i) {
+      inst[static_cast<std::size_t>(i)]->start(i < 5);
+    }
+    EXPECT_EQ(sim->run(), RunStatus::quiescent);
+    ASSERT_TRUE(inst[0]->has_output());
+    decisions.push_back(inst[0]->output());
+    for (Ba* b : inst) EXPECT_EQ(b->output(), decisions.back());
+  }
+  if (c.kind == NetworkKind::synchronous) {
+    EXPECT_EQ(decisions[0], decisions[1]);
+  }
+}
+
+TEST_P(CrossCheckTest, WssSharesAgreeAcrossModes) {
+  const auto& c = GetParam();
+  const ProtocolParams p{7, 2, 1};
+  std::vector<FpVec> all_shares;
+  for (bool ideal : {false, true}) {
+    auto sim = make_sim(
+        {.params = p, .kind = c.kind, .seed = c.seed, .ideal = ideal});
+    std::vector<Wss*> inst;
+    WssOptions opts;
+    for (int i = 0; i < p.n; ++i) {
+      inst.push_back(&sim->party(i).spawn<Wss>("wss", 0, 0, opts, nullptr));
+    }
+    Rng rng(c.seed);  // same dealer polynomial in both modes
+    const Polynomial q = Polynomial::random_with_constant(Fp(42), p.ts, rng);
+    inst[0]->start({q});
+    EXPECT_EQ(sim->run(), RunStatus::quiescent);
+    FpVec shares;
+    for (int i = 0; i < p.n; ++i) {
+      Wss* w = inst[static_cast<std::size_t>(i)];
+      EXPECT_EQ(w->outcome(), WssOutcome::rows);
+      shares.push_back(w->share(0));
+    }
+    all_shares.push_back(std::move(shares));
+  }
+  // Honest dealer: both modes must deliver exactly q's evaluations — hence
+  // identical shares mode-to-mode.
+  EXPECT_EQ(all_shares[0], all_shares[1]);
+}
+
+TEST_P(CrossCheckTest, VssSharesAgreeAcrossModes) {
+  const auto& c = GetParam();
+  const ProtocolParams p{5, 1, 1};
+  std::vector<FpVec> all_shares;
+  for (bool ideal : {false, true}) {
+    auto sim = make_sim(
+        {.params = p, .kind = c.kind, .seed = c.seed, .ideal = ideal});
+    std::vector<Vss*> inst;
+    for (int i = 0; i < p.n; ++i) {
+      inst.push_back(
+          &sim->party(i).spawn<Vss>("vss", 0, 0, 1, PartySet{}, nullptr));
+    }
+    Rng rng(c.seed ^ 1);
+    const Polynomial q = Polynomial::random_with_constant(Fp(77), p.ts, rng);
+    inst[0]->start({q});
+    EXPECT_EQ(sim->run(), RunStatus::quiescent);
+    FpVec shares;
+    for (int i = 0; i < p.n; ++i) {
+      Vss* v = inst[static_cast<std::size_t>(i)];
+      EXPECT_EQ(v->outcome(), WssOutcome::rows);
+      shares.push_back(v->share(0));
+    }
+    all_shares.push_back(std::move(shares));
+  }
+  EXPECT_EQ(all_shares[0], all_shares[1]);
+}
+
+TEST_P(CrossCheckTest, AcsSetsAgreeAcrossModes) {
+  const auto& c = GetParam();
+  const ProtocolParams p{7, 2, 1};
+  std::vector<PartySet> outputs;
+  for (bool ideal : {false, true}) {
+    auto sim = make_sim(
+        {.params = p, .kind = c.kind, .seed = c.seed, .ideal = ideal});
+    std::vector<Acs*> inst;
+    for (int i = 0; i < p.n; ++i) {
+      inst.push_back(&sim->party(i).spawn<Acs>("acs", 0, nullptr));
+    }
+    for (Acs* a : inst) {
+      for (int j = 0; j < p.n; ++j) a->mark(j);
+    }
+    EXPECT_EQ(sim->run(), RunStatus::quiescent);
+    ASSERT_TRUE(inst[0]->has_output());
+    outputs.push_back(inst[0]->output());
+  }
+  if (c.kind == NetworkKind::synchronous) {
+    // All marked at onset in sync: both modes agree on the full set.
+    EXPECT_EQ(outputs[0], outputs[1]);
+    EXPECT_EQ(outputs[0], PartySet::full(p.n));
+  } else {
+    EXPECT_GE(outputs[0].size(), p.n - p.ts);
+    EXPECT_GE(outputs[1].size(), p.n - p.ts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, CrossCheckTest,
+    ::testing::Values(XCase{NetworkKind::synchronous, 501},
+                      XCase{NetworkKind::synchronous, 502},
+                      XCase{NetworkKind::asynchronous, 503}));
+
+}  // namespace
+}  // namespace nampc

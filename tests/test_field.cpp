@@ -1,0 +1,91 @@
+// Unit tests: F_p arithmetic (p = 2^61 - 1).
+#include <gtest/gtest.h>
+
+#include "field/fp.h"
+#include "util/rng.h"
+
+namespace nampc {
+namespace {
+
+TEST(Field, BasicArithmetic) {
+  EXPECT_EQ(Fp(1) + Fp(2), Fp(3));
+  EXPECT_EQ(Fp(5) - Fp(7), Fp(Fp::kPrime - 2));
+  EXPECT_EQ(Fp(3) * Fp(4), Fp(12));
+  EXPECT_EQ(-Fp(1), Fp(Fp::kPrime - 1));
+  EXPECT_EQ(-Fp(0), Fp(0));
+}
+
+TEST(Field, ReductionOfLargeValues) {
+  // 2^61 - 1 == 0 in the field.
+  EXPECT_EQ(Fp(Fp::kPrime), Fp(0));
+  EXPECT_EQ(Fp(Fp::kPrime + 5), Fp(5));
+  // Max 64-bit value reduces correctly: 2^64 - 1 ≡ 7 (mod 2^61 - 1).
+  EXPECT_EQ(Fp(~0ull), Fp(7));
+}
+
+TEST(Field, FromInt) {
+  EXPECT_EQ(Fp::from_int(-1), Fp(Fp::kPrime - 1));
+  EXPECT_EQ(Fp::from_int(-1) + Fp(1), Fp(0));
+  EXPECT_EQ(Fp::from_int(42), Fp(42));
+}
+
+TEST(Field, MultiplicationMatchesWideArithmetic) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next_below(Fp::kPrime);
+    const std::uint64_t b = rng.next_below(Fp::kPrime);
+    __extension__ using u128 = unsigned __int128;
+    const u128 expect = static_cast<u128>(a) * b % Fp::kPrime;
+    EXPECT_EQ(Fp(a) * Fp(b), Fp(static_cast<std::uint64_t>(expect)));
+  }
+}
+
+TEST(Field, InverseIsInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Fp a(rng.next_below(Fp::kPrime - 1) + 1);
+    EXPECT_EQ(a * a.inverse(), Fp(1));
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  EXPECT_THROW((void)Fp(0).inverse(), InvariantError);
+}
+
+TEST(Field, PowMatchesRepeatedMultiplication) {
+  const Fp base(12345);
+  Fp acc(1);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(Fp::pow(base, e), acc);
+    acc *= base;
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Fp a(rng.next_below(Fp::kPrime - 1) + 1);
+    EXPECT_EQ(Fp::pow(a, Fp::kPrime - 1), Fp(1));
+  }
+}
+
+TEST(Field, DivisionRoundTrips) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Fp a(rng.next_below(Fp::kPrime));
+    const Fp b(rng.next_below(Fp::kPrime - 1) + 1);
+    EXPECT_EQ(a / b * b, a);
+  }
+}
+
+TEST(Field, VectorHelpers) {
+  const FpVec a{Fp(1), Fp(2), Fp(3)};
+  const FpVec b{Fp(10), Fp(20), Fp(30)};
+  EXPECT_EQ(add(a, b), (FpVec{Fp(11), Fp(22), Fp(33)}));
+  EXPECT_EQ(sub(b, a), (FpVec{Fp(9), Fp(18), Fp(27)}));
+  EXPECT_EQ(scale(Fp(2), a), (FpVec{Fp(2), Fp(4), Fp(6)}));
+  EXPECT_THROW((void)add(a, FpVec{Fp(1)}), InvariantError);
+}
+
+}  // namespace
+}  // namespace nampc

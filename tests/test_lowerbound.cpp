@@ -1,0 +1,88 @@
+// Tests: resiliency bounds (Theorem 1.1) and the lower-bound attack (§5).
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "lowerbound/lowerbound.h"
+
+namespace nampc {
+namespace {
+
+TEST(Bounds, TrichotomyMatchesPaper) {
+  // ts <= ta: n > 4ta.
+  EXPECT_EQ(min_parties(1, 1), 5);
+  EXPECT_EQ(min_parties(2, 2), 9);
+  EXPECT_EQ(regime(1, 1), ResiliencyRegime::pure_async);
+  // ta < ts <= 2ta: n > 2ts + 2ta.
+  EXPECT_EQ(min_parties(2, 1), 7);
+  EXPECT_EQ(min_parties(4, 2), 13);
+  EXPECT_EQ(min_parties(3, 2), 11);
+  EXPECT_EQ(regime(2, 1), ResiliencyRegime::mixed);
+  // 2ta < ts: n > 3ts.
+  EXPECT_EQ(min_parties(3, 1), 10);
+  EXPECT_EQ(min_parties(4, 1), 13);
+  EXPECT_EQ(min_parties(2, 0), 7);
+  EXPECT_EQ(regime(3, 1), ResiliencyRegime::sync_limited);
+}
+
+TEST(Bounds, StrictlyBetterThanPriorWorkWhenTsExceedsTa) {
+  // Strict gain requires ta >= 1 (at ta = 0 both bounds are 3ts + 1).
+  for (int ts = 2; ts <= 8; ++ts) {
+    for (int ta = 1; ta < ts; ++ta) {
+      EXPECT_LT(min_parties(ts, ta), min_parties_prior(ts, ta))
+          << "ts=" << ts << " ta=" << ta;
+    }
+    // Equal when ts == ta (both reduce to the async bound... prior bound
+    // is 4t+1 too only via the asynchronous reduction).
+    EXPECT_EQ(min_parties(ts, ts), 4 * ts + 1);
+  }
+  // Footnote 1: at ts > 2ta the gain over 3ts + ta + 1 is exactly ta.
+  EXPECT_EQ(min_parties_prior(3, 1) - min_parties(3, 1), 1);
+  EXPECT_EQ(min_parties_prior(5, 2) - min_parties(5, 2), 2);
+}
+
+TEST(Bounds, BoundaryIsExact) {
+  // n = min_parties is feasible, n-1 is not.
+  for (int ts = 1; ts <= 6; ++ts) {
+    for (int ta = 0; ta <= ts; ++ta) {
+      const int n = min_parties(ts, ta);
+      EXPECT_TRUE(feasible(n, ts, ta));
+      EXPECT_FALSE(feasible(n - 1, ts, ta));
+    }
+  }
+  EXPECT_EQ(max_ts(7, 1), 2);
+  EXPECT_EQ(max_ts(13, 2), 4);
+  EXPECT_EQ(max_ts(4, 0), 1);
+}
+
+TEST(LowerBound, PartitionAttackBreaksEveryTieBreakRule) {
+  const auto witnesses = find_violations();
+  ASSERT_EQ(witnesses.size(), 4u);
+  for (const auto& w : witnesses) {
+    EXPECT_FALSE(w.correct())
+        << "rule " << static_cast<int>(w.rule)
+        << " unexpectedly survived the partition attack";
+  }
+}
+
+TEST(LowerBound, SpecificDisagreement) {
+  // The proof's canonical instance: π(0, 1) with P4 replaying T'24 from an
+  // execution where x1 = 1. Under the trust-P4 rule P2 outputs 1 while P1
+  // (whose view is honest) outputs x1 ∧ x2 = 0.
+  const auto o = run_partition_attack(/*x1=*/false, /*x2=*/true,
+                                      TieBreak::trust_p4, /*relay=*/3,
+                                      /*lie=*/true, 3);
+  EXPECT_FALSE(o.p1_output);
+  EXPECT_TRUE(o.p2_output);
+  EXPECT_FALSE(o.agree());
+}
+
+TEST(LowerBound, AttackImpossibleScheduleIsModelValid) {
+  // Sanity: the schedule used is admissible — (4,1,1) with one corrupt
+  // party in an asynchronous network respects the corruption budget, and
+  // the parameters sit exactly on the infeasibility boundary.
+  EXPECT_FALSE(feasible(4, 1, 1));
+  EXPECT_TRUE(feasible(5, 1, 1));
+}
+
+}  // namespace
+}  // namespace nampc

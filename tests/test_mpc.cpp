@@ -1,0 +1,273 @@
+// End-to-end tests: the complete network-agnostic MPC protocol (§10).
+#include <gtest/gtest.h>
+
+#include "mpc/mpc.h"
+#include "sim_helpers.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+/// f(x_0, ..., x_{n-1}) = (x_0 + x_1) * x_2 + 5 * x_0 * x_0  — two
+/// multiplicative levels, linear gates in between.
+Circuit test_circuit(int n) {
+  Circuit c;
+  std::vector<int> in;
+  for (int i = 0; i < n; ++i) in.push_back(c.input(i));
+  const int s = c.add(in[0], in[1]);
+  const int m1 = c.mul(s, in[2]);
+  const int m2 = c.mul(in[0], in[0]);
+  const int out = c.add(m1, c.cmul(Fp(5), m2));
+  c.mark_output(out);
+  c.mark_output(s);  // a linear output too
+  return c;
+}
+
+struct MpcHarness {
+  Circuit circuit;
+  std::unique_ptr<Simulation> sim;
+  std::vector<Mpc*> instances;
+  std::map<int, FpVec> inputs;
+
+  MpcHarness(const SimSpec& spec, std::shared_ptr<Adversary> adv = nullptr)
+      : circuit(test_circuit(spec.params.n)), sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < spec.params.n; ++i) {
+      inputs[i] = {Fp(static_cast<std::uint64_t>(10 + i))};
+    }
+    for (int i = 0; i < spec.params.n; ++i) {
+      instances.push_back(&sim->party(i).spawn<Mpc>("mpc", circuit,
+                                                    inputs[i], nullptr));
+    }
+  }
+
+  /// Expected outputs given which parties' inputs were actually used.
+  [[nodiscard]] FpVec expected(PartySet used) const {
+    std::map<int, FpVec> eff;
+    for (const auto& [p, v] : inputs) {
+      eff[p] = used.contains(p) ? v : FpVec{Fp(0)};
+    }
+    return circuit.eval_plain(eff);
+  }
+};
+
+struct MpcCase {
+  ProtocolParams params;
+  NetworkKind kind;
+  bool ideal;
+  std::uint64_t seed;
+};
+
+class MpcModeTest : public ::testing::TestWithParam<MpcCase> {};
+
+TEST_P(MpcModeTest, AllHonestComputeCorrectly) {
+  const auto& c = GetParam();
+  MpcHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal});
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  // All honest: every party's input is included.
+  const FpVec want = h.expected(PartySet::full(c.params.n));
+  for (int i = 0; i < c.params.n; ++i) {
+    Mpc* m = h.instances[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(m->has_output()) << "party " << i;
+    EXPECT_EQ(m->output(), want) << "party " << i;
+    EXPECT_EQ(m->com(), PartySet::full(c.params.n));
+  }
+}
+
+TEST_P(MpcModeTest, SilentCorruptPartiesGetDefaultInputs) {
+  const auto& c = GetParam();
+  const int budget =
+      c.kind == NetworkKind::synchronous ? c.params.ts : c.params.ta;
+  if (budget == 0) GTEST_SKIP();
+  // Corrupt the highest-indexed parties (their inputs default to 0; input
+  // wire x_2 stays honest so the circuit remains interesting).
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(c.params.n - 1 - i);
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  for (int id : corrupt.to_vector()) adv->silence(id);
+  MpcHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal},
+               adv);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  const FpVec want = h.expected(PartySet::full(c.params.n).minus(corrupt));
+  std::optional<PartySet> com;
+  for (int i = 0; i < c.params.n; ++i) {
+    if (corrupt.contains(i)) continue;
+    Mpc* m = h.instances[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(m->has_output()) << "party " << i;
+    EXPECT_EQ(m->output(), want) << "party " << i;
+    if (!com.has_value()) com = m->com();
+    EXPECT_EQ(m->com(), *com);  // agreement on the dealer set
+  }
+  EXPECT_TRUE(com->intersect(corrupt).empty());
+  EXPECT_GE(com->size(), c.params.n - c.params.ts);
+}
+
+TEST_P(MpcModeTest, WrongShareSendersCannotBreakCorrectness) {
+  const auto& c = GetParam();
+  const int budget =
+      c.kind == NetworkKind::synchronous ? c.params.ts : c.params.ta;
+  if (budget == 0) GTEST_SKIP();
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(c.params.n - 1 - i);
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  // Garble every reconstruction/opening share corrupt parties send during
+  // the online phase (error correction must absorb it).
+  for (int id : corrupt.to_vector()) {
+    adv->garble_on(id, "mul");
+    adv->garble_on(id, "outrec");
+    adv->garble_on(id, "points");
+    adv->garble_on(id, "open");
+  }
+  MpcHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal},
+               adv);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  // Corrupt parties behaved during sharing, so their inputs are included.
+  const FpVec want = h.expected(PartySet::full(c.params.n));
+  for (int i = 0; i < c.params.n; ++i) {
+    if (corrupt.contains(i)) continue;
+    Mpc* m = h.instances[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(m->has_output()) << "party " << i;
+    EXPECT_EQ(m->output(), want) << "party " << i;
+  }
+}
+
+TEST(MpcPrivateOutputs, OnlyOwnersLearnTheirOutputs) {
+  // Circuit: public output x0+x1; private outputs x0*x1 to party 1 and
+  // x0-x1 to party 2.
+  const ProtocolParams p{5, 1, 1};
+  Circuit c;
+  const int a = c.input(0);
+  const int b = c.input(1);
+  c.mark_output(c.add(a, b));            // public
+  c.mark_output(c.mul(a, b), /*owner=*/1);
+  c.mark_output(c.sub(a, b), /*owner=*/2);
+  for (NetworkKind kind :
+       {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    auto sim = make_sim({.params = p, .kind = kind, .seed = 97});
+    std::vector<Mpc*> inst;
+    for (int i = 0; i < 5; ++i) {
+      inst.push_back(&sim->party(i).spawn<Mpc>(
+          "mpc", c, FpVec{Fp(static_cast<std::uint64_t>(10 + i))}, nullptr));
+    }
+    ASSERT_EQ(sim->run(), RunStatus::quiescent);
+    for (int i = 0; i < 5; ++i) {
+      Mpc* m = inst[static_cast<std::size_t>(i)];
+      ASSERT_TRUE(m->has_output()) << "party " << i;
+      // Everyone learns the public output.
+      EXPECT_TRUE(m->output_known(0));
+      EXPECT_EQ(m->output()[0], Fp(21));
+      // Only the owners learn the private ones.
+      EXPECT_EQ(m->output_known(1), i == 1);
+      EXPECT_EQ(m->output_known(2), i == 2);
+      if (i == 1) {
+        EXPECT_EQ(m->output()[1], Fp(110));
+      }
+      if (i == 2) {
+        EXPECT_EQ(m->output()[2], Fp(10) - Fp(11));
+      }
+    }
+  }
+}
+
+TEST(MpcPrivateOutputs, AllPrivateNoPublicOpening) {
+  // Circuit with ONLY a private output: parties without outputs terminate
+  // immediately after evaluation, and nothing is publicly opened.
+  const ProtocolParams p{4, 1, 0};
+  Circuit c;
+  const int a = c.input(0);
+  const int b = c.input(1);
+  c.mark_output(c.mul(a, b), /*owner=*/3);
+  auto sim = make_sim({.params = p, .seed = 98});
+  std::vector<Mpc*> inst;
+  for (int i = 0; i < 4; ++i) {
+    inst.push_back(&sim->party(i).spawn<Mpc>(
+        "mpc", c, FpVec{Fp(static_cast<std::uint64_t>(i + 5))}, nullptr));
+  }
+  ASSERT_EQ(sim->run(), RunStatus::quiescent);
+  for (int i = 0; i < 4; ++i) {
+    Mpc* m = inst[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(m->has_output());
+    EXPECT_EQ(m->output_known(0), i == 3);
+  }
+  EXPECT_EQ(inst[3]->output()[0], Fp(5 * 6));
+}
+
+TEST(MpcEdgeCases, LinearOnlyCircuitNeedsNoTriples) {
+  // No multiplication gates: the Beaver pool is never consumed; the
+  // protocol still runs the full sharing/ACS pipeline for inputs.
+  const ProtocolParams p{4, 1, 0};
+  Circuit c;
+  const int a = c.input(0);
+  const int b = c.input(1);
+  c.mark_output(c.cadd(Fp(100), c.add(c.cmul(Fp(3), a), b)));
+  auto sim = make_sim({.params = p, .seed = 601});
+  std::vector<Mpc*> inst;
+  for (int i = 0; i < 4; ++i) {
+    inst.push_back(&sim->party(i).spawn<Mpc>(
+        "mpc", c, FpVec{Fp(static_cast<std::uint64_t>(i + 1))}, nullptr));
+  }
+  ASSERT_EQ(sim->run(), RunStatus::quiescent);
+  for (Mpc* m : inst) {
+    ASSERT_TRUE(m->has_output());
+    EXPECT_EQ(m->output()[0], Fp(3 * 1 + 2 + 100));
+  }
+}
+
+TEST(MpcEdgeCases, PartiesWithoutInputsParticipate) {
+  // Only party 0 provides input; everyone still deals triples and runs the
+  // agreement — and learns the output.
+  const ProtocolParams p{5, 1, 1};
+  Circuit c;
+  const int a = c.input(0);
+  c.mark_output(c.mul(a, a));
+  auto sim = make_sim(
+      {.params = p, .kind = NetworkKind::asynchronous, .seed = 602});
+  std::vector<Mpc*> inst;
+  for (int i = 0; i < 5; ++i) {
+    inst.push_back(&sim->party(i).spawn<Mpc>(
+        "mpc", c, i == 0 ? FpVec{Fp(9)} : FpVec{}, nullptr));
+  }
+  ASSERT_EQ(sim->run(), RunStatus::quiescent);
+  for (Mpc* m : inst) {
+    ASSERT_TRUE(m->has_output());
+    EXPECT_EQ(m->output()[0], Fp(81));
+  }
+}
+
+TEST(MpcEdgeCases, DeterministicAcrossIdenticalRuns) {
+  std::vector<FpVec> outputs;
+  for (int rep = 0; rep < 2; ++rep) {
+    const ProtocolParams p{4, 1, 0};
+    Circuit c;
+    c.mark_output(c.mul(c.input(0), c.input(1)));
+    auto sim = make_sim({.params = p, .seed = 603});
+    std::vector<Mpc*> inst;
+    for (int i = 0; i < 4; ++i) {
+      inst.push_back(&sim->party(i).spawn<Mpc>(
+          "mpc", c, FpVec{Fp(static_cast<std::uint64_t>(i + 3))}, nullptr));
+    }
+    ASSERT_EQ(sim->run(), RunStatus::quiescent);
+    outputs.push_back(inst[0]->output());
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MpcModeTest,
+    ::testing::Values(
+        // (4,1,0): ts > ta, 4 candidate Z subsets, full primitives.
+        MpcCase{{4, 1, 0}, NetworkKind::synchronous, false, 91},
+        MpcCase{{4, 1, 0}, NetworkKind::asynchronous, false, 92},
+        // (5,1,1): pure n > 4t regime, single (empty) Z subset.
+        MpcCase{{5, 1, 1}, NetworkKind::synchronous, false, 93},
+        MpcCase{{5, 1, 1}, NetworkKind::asynchronous, false, 94},
+        // (7,2,1): optimal-resiliency regime n = 2ts+2ta+1; ideal BA/SBA.
+        MpcCase{{7, 2, 1}, NetworkKind::synchronous, true, 95},
+        MpcCase{{7, 2, 1}, NetworkKind::asynchronous, true, 96}));
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,167 @@
+// Unit tests: univariate polynomials, interpolation, symmetric bivariate
+// polynomials (§3.2).
+#include <gtest/gtest.h>
+
+#include "poly/bivariate.h"
+#include "poly/polynomial.h"
+
+namespace nampc {
+namespace {
+
+TEST(Polynomial, EvalAndDegree) {
+  // f(x) = 3 + 2x + x^2
+  const Polynomial f(FpVec{Fp(3), Fp(2), Fp(1)});
+  EXPECT_EQ(f.degree(), 2);
+  EXPECT_EQ(f.eval(Fp(0)), Fp(3));
+  EXPECT_EQ(f.eval(Fp(1)), Fp(6));
+  EXPECT_EQ(f.eval(Fp(2)), Fp(11));
+}
+
+TEST(Polynomial, ZeroPolynomial) {
+  const Polynomial z;
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.eval(Fp(17)), Fp(0));
+  // Trailing zero coefficients trim.
+  const Polynomial z2(FpVec{Fp(0), Fp(0)});
+  EXPECT_EQ(z2.degree(), -1);
+  EXPECT_EQ(z, z2);
+}
+
+TEST(Polynomial, InterpolationRoundTrip) {
+  Rng rng(11);
+  for (int deg = 0; deg <= 8; ++deg) {
+    const Polynomial f = Polynomial::random_with_constant(Fp(42), deg, rng);
+    FpVec xs, ys;
+    for (int i = 1; i <= deg + 1; ++i) {
+      xs.push_back(Fp(static_cast<std::uint64_t>(i)));
+      ys.push_back(f.eval(Fp(static_cast<std::uint64_t>(i))));
+    }
+    const Polynomial g = Polynomial::interpolate(xs, ys);
+    EXPECT_EQ(f, g) << "degree " << deg;
+  }
+}
+
+TEST(Polynomial, InterpolateRejectsDuplicateX) {
+  const FpVec xs{Fp(1), Fp(1)};
+  const FpVec ys{Fp(2), Fp(3)};
+  EXPECT_THROW((void)Polynomial::interpolate(xs, ys), InvariantError);
+}
+
+TEST(Polynomial, ArithmeticIdentities) {
+  Rng rng(12);
+  const Polynomial f = Polynomial::random_with_constant(Fp(1), 4, rng);
+  const Polynomial g = Polynomial::random_with_constant(Fp(2), 3, rng);
+  const Fp x(777);
+  EXPECT_EQ((f + g).eval(x), f.eval(x) + g.eval(x));
+  EXPECT_EQ((f - g).eval(x), f.eval(x) - g.eval(x));
+  EXPECT_EQ((f * g).eval(x), f.eval(x) * g.eval(x));
+  EXPECT_EQ((f * g).degree(), 7);
+}
+
+TEST(Polynomial, DivisionWithRemainder) {
+  Rng rng(13);
+  const Polynomial f = Polynomial::random_with_constant(Fp(9), 7, rng);
+  const Polynomial g = Polynomial::random_with_constant(Fp(4), 3, rng);
+  const auto [q, r] = f.div_rem(g);
+  EXPECT_EQ(q * g + r, f);
+  EXPECT_LT(r.degree(), g.degree());
+}
+
+TEST(Polynomial, ExactDivision) {
+  Rng rng(14);
+  const Polynomial f = Polynomial::random_with_constant(Fp(5), 4, rng);
+  const Polynomial g = Polynomial::random_with_constant(Fp(6), 2, rng);
+  EXPECT_EQ((f * g).divide_exact(g), f);
+  // Inexact division throws.
+  const Polynomial h = f * g + Polynomial::constant(Fp(1));
+  EXPECT_THROW((void)h.divide_exact(g), InvariantError);
+}
+
+TEST(Polynomial, RandomWithConstantFixesSecret) {
+  Rng rng(15);
+  for (int i = 0; i < 20; ++i) {
+    const Polynomial f = Polynomial::random_with_constant(Fp(31337), 5, rng);
+    EXPECT_EQ(f.eval(Fp(0)), Fp(31337));
+    EXPECT_LE(f.degree(), 5);
+  }
+}
+
+TEST(Polynomial, CodecRoundTrip) {
+  Rng rng(16);
+  const Polynomial f = Polynomial::random_with_constant(Fp(8), 6, rng);
+  Writer w;
+  f.encode(w);
+  Words words = std::move(w).take();
+  Reader r(words);
+  EXPECT_EQ(Polynomial::decode(r), f);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Lagrange, CoefficientsExtrapolate) {
+  Rng rng(17);
+  const Polynomial f = Polynomial::random_with_constant(Fp(3), 4, rng);
+  FpVec xs, ys;
+  for (int i = 1; i <= 5; ++i) {
+    xs.push_back(Fp(static_cast<std::uint64_t>(i)));
+    ys.push_back(f.eval(Fp(static_cast<std::uint64_t>(i))));
+  }
+  const Fp at(123);
+  const FpVec coeffs = lagrange_coefficients(xs, at);
+  Fp acc(0);
+  for (std::size_t i = 0; i < xs.size(); ++i) acc += coeffs[i] * ys[i];
+  EXPECT_EQ(acc, f.eval(at));
+}
+
+TEST(Bivariate, SymmetryHolds) {
+  Rng rng(18);
+  const SymBivariate f = SymBivariate::random_with_secret(Fp(5), 3, rng);
+  for (int i = 0; i <= 6; ++i) {
+    for (int j = 0; j <= 6; ++j) {
+      EXPECT_EQ(f.eval(Fp(static_cast<std::uint64_t>(i)),
+                       Fp(static_cast<std::uint64_t>(j))),
+                f.eval(Fp(static_cast<std::uint64_t>(j)),
+                       Fp(static_cast<std::uint64_t>(i))));
+    }
+  }
+  EXPECT_EQ(f.secret(), Fp(5));
+}
+
+TEST(Bivariate, RowsArePairwiseConsistent) {
+  Rng rng(19);
+  const SymBivariate f = SymBivariate::random_with_secret(Fp(7), 2, rng);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      const Polynomial fi = f.row_for_party(i);
+      const Polynomial fj = f.row_for_party(j);
+      // f_i(j) = F(j+1, i+1) = F(i+1, j+1) = f_j(i).
+      EXPECT_EQ(fi.eval(eval_point(j)), fj.eval(eval_point(i)));
+    }
+  }
+}
+
+TEST(Bivariate, RowZeroEmbedding) {
+  Rng rng(20);
+  const Polynomial q = Polynomial::random_with_constant(Fp(1234), 3, rng);
+  const SymBivariate f = SymBivariate::random_with_row0(q, 3, rng);
+  EXPECT_EQ(f.row(Fp(0)), q);
+  // Party i's share of the embedded secret-polynomial is f_i(0) = q(i+1).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.row_for_party(i).eval(Fp(0)), q.eval(eval_point(i)));
+  }
+  EXPECT_EQ(f.secret(), q.eval(Fp(0)));
+}
+
+TEST(Bivariate, RowMatchesPointEval) {
+  Rng rng(21);
+  const SymBivariate f = SymBivariate::random_with_secret(Fp(2), 4, rng);
+  for (int i = 0; i < 8; ++i) {
+    const Polynomial row = f.row_for_party(i);
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(row.eval(Fp(static_cast<std::uint64_t>(x))),
+                f.eval(Fp(static_cast<std::uint64_t>(x)), eval_point(i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,180 @@
+// Unit + property tests: Reed-Solomon simultaneous error correction and
+// detection (§3.5, Theorem 3.2, Corollaries 3.3/3.4 — the basis of Table 1).
+#include <gtest/gtest.h>
+
+#include "rs/linalg.h"
+#include "rs/reed_solomon.h"
+
+namespace nampc {
+namespace {
+
+std::vector<RsPoint> codeword(const Polynomial& f, int n_points) {
+  std::vector<RsPoint> pts;
+  for (int i = 1; i <= n_points; ++i) {
+    const Fp x(static_cast<std::uint64_t>(i));
+    pts.push_back({x, f.eval(x)});
+  }
+  return pts;
+}
+
+void corrupt_positions(std::vector<RsPoint>& pts, std::vector<int> positions) {
+  for (int p : positions) {
+    pts[static_cast<std::size_t>(p)].y += Fp(1 + static_cast<std::uint64_t>(p));
+  }
+}
+
+TEST(Linalg, SolvesConsistentSystem) {
+  // x + y = 3, x - y = 1 -> x=2, y=1.
+  FpMatrix a{{Fp(1), Fp(1)}, {Fp(1), Fp::from_int(-1)}};
+  FpVec b{Fp(3), Fp(1)};
+  const auto x = solve_linear(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Fp(2));
+  EXPECT_EQ((*x)[1], Fp(1));
+}
+
+TEST(Linalg, DetectsInconsistentSystem) {
+  FpMatrix a{{Fp(1), Fp(1)}, {Fp(2), Fp(2)}};
+  FpVec b{Fp(3), Fp(7)};
+  EXPECT_FALSE(solve_linear(a, b).has_value());
+}
+
+TEST(Linalg, UnderdeterminedPicksSomeSolution) {
+  FpMatrix a{{Fp(1), Fp(1), Fp(0)}};
+  FpVec b{Fp(5)};
+  const auto x = solve_linear(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0] + (*x)[1], Fp(5));
+}
+
+TEST(Rs, DecodeNoErrors) {
+  Rng rng(31);
+  const Polynomial f = Polynomial::random_with_constant(Fp(99), 3, rng);
+  auto pts = codeword(f, 10);
+  const auto res = rs_decode(pts, 3, 2);
+  ASSERT_EQ(res.status, RsStatus::ok);
+  EXPECT_EQ(res.poly, f);
+  EXPECT_EQ(res.distance, 0);
+}
+
+TEST(Rs, CorrectsUpToEErrors) {
+  Rng rng(32);
+  for (int e = 1; e <= 3; ++e) {
+    const Polynomial f = Polynomial::random_with_constant(Fp(7), 4, rng);
+    auto pts = codeword(f, 4 + 2 * e + 1);
+    std::vector<int> bad;
+    for (int i = 0; i < e; ++i) bad.push_back(2 * i);
+    corrupt_positions(pts, bad);
+    const auto res = rs_decode(pts, 4, e);
+    ASSERT_EQ(res.status, RsStatus::ok) << "e=" << e;
+    EXPECT_EQ(res.poly, f);
+    EXPECT_EQ(res.distance, e);
+  }
+}
+
+TEST(Rs, DetectsMoreThanEErrors) {
+  Rng rng(33);
+  const int k = 3;
+  const int e = 2;
+  // e' = 2; N - k - 1 >= 2e + e' -> N >= 3 + 1 + 6 = 10.
+  const Polynomial f = Polynomial::random_with_constant(Fp(1), k, rng);
+  auto pts = codeword(f, 10);
+  corrupt_positions(pts, {0, 3, 5, 7});  // e < 4 <= e + e'
+  const auto res = rs_decode(pts, k, e);
+  EXPECT_EQ(res.status, RsStatus::detected);
+}
+
+TEST(Rs, NeverMiscorrectsWithinDetectionBudget) {
+  // Property sweep: for all s <= e + e', the decoder either returns the true
+  // polynomial (s <= e) or reports detection — never a wrong polynomial.
+  Rng rng(34);
+  const int k = 2;
+  for (int e = 0; e <= 3; ++e) {
+    for (int ep = 0; ep <= 3; ++ep) {
+      const int n_points = k + 1 + 2 * e + ep;
+      for (int s = 0; s <= e + ep; ++s) {
+        const Polynomial f = Polynomial::random_with_constant(
+            Fp(rng.next_below(1000)), k, rng);
+        auto pts = codeword(f, n_points);
+        std::vector<int> bad;
+        for (int i = 0; i < s; ++i) bad.push_back(i);
+        corrupt_positions(pts, bad);
+        const auto res = rs_decode(pts, k, e);
+        if (s <= e) {
+          ASSERT_EQ(res.status, RsStatus::ok)
+              << "e=" << e << " e'=" << ep << " s=" << s;
+          EXPECT_EQ(res.poly, f);
+        } else {
+          EXPECT_EQ(res.status, RsStatus::detected)
+              << "e=" << e << " e'=" << ep << " s=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(Rs, RejectsTooFewPoints) {
+  Rng rng(35);
+  const Polynomial f = Polynomial::random_with_constant(Fp(1), 3, rng);
+  auto pts = codeword(f, 5);
+  EXPECT_THROW((void)rs_decode(pts, 3, 1), InvariantError);
+}
+
+// --- The scheduled decoder behind Table 1 -------------------------------
+
+struct ScheduleCase {
+  int ts;
+  int ta;
+  int x;        // points received = ts + ta + 1 + x
+  int errors;   // actual corrupted points
+  bool expect_ok;
+};
+
+class RsScheduleTest : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(RsScheduleTest, MatchesTable1) {
+  const auto& c = GetParam();
+  Rng rng(36 + static_cast<std::uint64_t>(c.x * 100 + c.errors));
+  const Polynomial f =
+      Polynomial::random_with_constant(Fp(5), c.ts, rng);
+  const int m = c.ts + c.ta + 1 + c.x;
+  auto pts = codeword(f, m);
+  std::vector<int> bad;
+  for (int i = 0; i < c.errors; ++i) bad.push_back(i);
+  corrupt_positions(pts, bad);
+  const auto sched = rs_decode_scheduled(pts, c.ts, c.ta);
+  // The schedule itself follows Corollaries 3.3/3.4.
+  if (c.x <= c.ta) {
+    EXPECT_EQ(sched.e, c.x);
+    EXPECT_EQ(sched.e_detect, c.ta - c.x);
+  } else {
+    EXPECT_EQ(sched.e, c.ta);
+    EXPECT_EQ(sched.e_detect, c.x - c.ta);
+  }
+  if (c.expect_ok) {
+    ASSERT_EQ(sched.result.status, RsStatus::ok);
+    EXPECT_EQ(sched.result.poly, f);
+  } else {
+    EXPECT_EQ(sched.result.status, RsStatus::detected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Rows, RsScheduleTest,
+    ::testing::Values(
+        // ts=2, ta=1 (n=7 canonical point). m = 4 + x.
+        ScheduleCase{2, 1, 0, 0, true},    // row 1: correct 0, detect 1
+        ScheduleCase{2, 1, 0, 1, false},   // 1 error with x=0 -> detect
+        ScheduleCase{2, 1, 1, 1, true},    // row ts+2ta+1: correct ta
+        ScheduleCase{2, 1, 2, 1, true},    // x>ta: corrects ta errors
+        ScheduleCase{2, 1, 2, 2, false},   // x>ta with too many errors
+        // ts=3, ta=2 (sweep point). m = 6 + x.
+        ScheduleCase{3, 2, 0, 0, true},
+        ScheduleCase{3, 2, 1, 1, true},
+        ScheduleCase{3, 2, 1, 2, false},
+        ScheduleCase{3, 2, 2, 2, true},
+        ScheduleCase{3, 2, 3, 2, true},
+        ScheduleCase{3, 2, 3, 3, false}));
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,162 @@
+// Property sweeps: the sharing-stack invariants under randomized seeds and
+// mixed adversaries (TEST_P over seeds — each seed yields different message
+// schedules and different adversarial interleavings).
+#include <gtest/gtest.h>
+
+#include "sharing/vss.h"
+#include "sim_helpers.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Mixed adversary: one corrupt party garbles, another stays silent
+/// (budget permitting).
+std::shared_ptr<ScriptedAdversary> mixed_adversary(const ProtocolParams& p,
+                                                   NetworkKind kind) {
+  const int budget = kind == NetworkKind::synchronous ? p.ts : p.ta;
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(p.n - 1 - i);
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  bool garble = true;
+  for (int id : corrupt.to_vector()) {
+    if (garble) {
+      adv->garble_on(id, "");
+    } else {
+      adv->silence(id);
+    }
+    garble = !garble;
+  }
+  return adv;
+}
+
+TEST_P(SeedSweep, WssInvariantsHoldUnderMixedAdversary) {
+  const std::uint64_t seed = GetParam();
+  for (NetworkKind kind :
+       {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    const ProtocolParams p{7, 2, 1};
+    auto adv = mixed_adversary(p, kind);
+    const PartySet corrupt = adv->corrupt_set();
+    auto sim = make_sim({.params = p, .kind = kind, .seed = seed}, adv);
+    std::vector<Wss*> inst;
+    WssOptions opts;
+    for (int i = 0; i < p.n; ++i) {
+      inst.push_back(&sim->party(i).spawn<Wss>("wss", 0, 0, opts, nullptr));
+    }
+    Rng rng(seed * 31 + 1);
+    const Polynomial q = Polynomial::random_with_constant(Fp(7), p.ts, rng);
+    inst[0]->start({q});
+    ASSERT_EQ(sim->run(), RunStatus::quiescent);
+    // Invariant 1 (correctness): honest dealer => every honest party ends
+    // with its true share.
+    // Invariant 2 (privacy audit): at most ts-ta rows revealed.
+    for (int i = 0; i < p.n; ++i) {
+      if (corrupt.contains(i)) continue;
+      Wss* w = inst[static_cast<std::size_t>(i)];
+      ASSERT_EQ(w->outcome(), WssOutcome::rows)
+          << "seed " << seed << " party " << i;
+      EXPECT_EQ(w->share(0), q.eval(eval_point(i)));
+      EXPECT_LE(w->revealed_parties().size(), p.ts - p.ta);
+      if (kind == NetworkKind::synchronous) {
+        // Sync honest dealer: only corrupt rows may go public.
+        EXPECT_TRUE(w->revealed_parties().subset_of(corrupt))
+            << w->revealed_parties().str();
+        EXPECT_LE(w->output_time(), sim->timing().t_wss);
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, VssCommitmentHoldsUnderCorruptDealer) {
+  const std::uint64_t seed = GetParam();
+  const ProtocolParams p{4, 1, 0};
+  // The corrupt dealer garbles a pseudo-random subset of its row messages.
+  auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({0}));
+  adv->add_rule(
+      [seed](const Message& m, Time) {
+        if (m.from != 0 || m.type != 1 || m.instance != "vss") return false;
+        return ((seed >> (m.to % 8)) & 1u) != 0;  // seed-dependent victims
+      },
+      [](const Message& m, Time, Rng&) {
+        SendDecision d;
+        Message alt = m;
+        for (Word& w : alt.payload) w = (Fp(w) + Fp(11)).value();
+        d.replacement = std::move(alt);
+        return d;
+      });
+  auto sim = make_sim(
+      {.params = p, .kind = NetworkKind::synchronous, .seed = seed}, adv);
+  std::vector<Vss*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(
+        &sim->party(i).spawn<Vss>("vss", 0, 0, 1, PartySet::of({3}), nullptr));
+  }
+  Rng rng(seed * 7 + 3);
+  inst[0]->start({Polynomial::random_with_constant(Fp(1), p.ts, rng)});
+  ASSERT_EQ(sim->run(), RunStatus::quiescent);
+  // Strong commitment: all-or-none among honest; holders' shares lie on one
+  // degree-ts polynomial.
+  std::vector<int> holders;
+  int empty = 0;
+  for (int i = 1; i < p.n; ++i) {
+    if (inst[static_cast<std::size_t>(i)]->outcome() == WssOutcome::rows) {
+      holders.push_back(i);
+    } else {
+      ++empty;
+    }
+  }
+  EXPECT_TRUE(holders.empty() || empty == 0)
+      << "seed " << seed << ": " << holders.size() << " holders, " << empty
+      << " empty-handed";
+  if (static_cast<int>(holders.size()) > p.ts + 1) {
+    FpVec xs, ys;
+    for (int i : holders) {
+      xs.push_back(eval_point(i));
+      ys.push_back(inst[static_cast<std::size_t>(i)]->share(0));
+    }
+    EXPECT_LE(Polynomial::interpolate(xs, ys).degree(), p.ts);
+  }
+}
+
+TEST_P(SeedSweep, AsyncSchedulerCannotBreakAgreement) {
+  const std::uint64_t seed = GetParam();
+  // Pure scheduling adversary (no corruptions) with pathological delays:
+  // honest runs must still converge with full outputs.
+  const ProtocolParams p{5, 1, 1};
+  auto adv = std::make_shared<ScriptedAdversary>();
+  adv->add_rule(
+      [](const Message& m, Time) { return (m.from + m.to) % 3 == 0; },
+      [](const Message&, Time, Rng& rng) {
+        SendDecision d;
+        d.delay = static_cast<Time>(rng.next_in(500, 2000));
+        return d;
+      });
+  auto sim = make_sim(
+      {.params = p, .kind = NetworkKind::asynchronous, .seed = seed}, adv);
+  std::vector<Vss*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(
+        &sim->party(i).spawn<Vss>("vss", 0, 0, 1, PartySet{}, nullptr));
+  }
+  Rng rng(seed + 17);
+  const Polynomial q = Polynomial::random_with_constant(Fp(3), p.ts, rng);
+  inst[0]->start({q});
+  ASSERT_EQ(sim->run(), RunStatus::quiescent);
+  for (int i = 0; i < p.n; ++i) {
+    ASSERT_EQ(inst[static_cast<std::size_t>(i)]->outcome(), WssOutcome::rows)
+        << "seed " << seed << " party " << i;
+    EXPECT_EQ(inst[static_cast<std::size_t>(i)]->share(0),
+              q.eval(eval_point(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
+                                           1006));
+
+}  // namespace
+}  // namespace nampc

@@ -1,0 +1,348 @@
+// Protocol tests: Π_privRec (9.1), Π_Beaver (9.3), Π_VTS (8.1),
+// Π_tripleExt (9.5).
+#include <gtest/gtest.h>
+
+#include "sim_helpers.h"
+#include "triples/triple_ext.h"
+#include "triples/vts.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+using testing::SimSpec;
+
+/// Produces consistent degree-ts shares of `value` for all n parties.
+FpVec share_value(Fp value, const ProtocolParams& p, Rng& rng) {
+  const Polynomial f = Polynomial::random_with_constant(value, p.ts, rng);
+  FpVec shares;
+  for (int i = 0; i < p.n; ++i) shares.push_back(f.eval(eval_point(i)));
+  return shares;
+}
+
+struct ReconCase {
+  ProtocolParams params;
+  NetworkKind kind;
+};
+
+class ReconTest : public ::testing::TestWithParam<ReconCase> {};
+
+TEST_P(ReconTest, PrivRecDeliversToTarget) {
+  const auto& c = GetParam();
+  auto sim = make_sim({.params = c.params, .kind = c.kind, .seed = 61});
+  Rng rng(99);
+  const Fp secret(123456);
+  const FpVec shares = share_value(secret, c.params, rng);
+  std::vector<PrivRec*> inst;
+  for (int i = 0; i < c.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<PrivRec>("pr", 2, 1, nullptr));
+    inst.back()->start(FpVec{shares[static_cast<std::size_t>(i)]});
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  ASSERT_TRUE(inst[2]->has_output());
+  EXPECT_EQ(inst[2]->values()[0], secret);
+  // Non-targets learn nothing (they have no output).
+  EXPECT_FALSE(inst[0]->has_output());
+}
+
+TEST_P(ReconTest, PrivRecCorrectsWrongShares) {
+  const auto& c = GetParam();
+  const int budget =
+      c.kind == NetworkKind::synchronous ? c.params.ts : c.params.ta;
+  if (budget == 0) GTEST_SKIP();
+  PartySet corrupt;
+  for (int i = 0; i < budget; ++i) corrupt.insert(c.params.n - 1 - i);
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  for (int id : corrupt.to_vector()) adv->garble_on(id, "pr", 0);
+  auto sim = make_sim({.params = c.params, .kind = c.kind, .seed = 62}, adv);
+  Rng rng(100);
+  const Fp secret(777);
+  const FpVec shares = share_value(secret, c.params, rng);
+  std::vector<PrivRec*> inst;
+  for (int i = 0; i < c.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<PrivRec>("pr", 0, 1, nullptr));
+    inst.back()->start(FpVec{shares[static_cast<std::size_t>(i)]});
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  ASSERT_TRUE(inst[0]->has_output());
+  EXPECT_EQ(inst[0]->values()[0], secret);
+}
+
+TEST_P(ReconTest, PubRecDeliversToEveryone) {
+  const auto& c = GetParam();
+  auto sim = make_sim({.params = c.params, .kind = c.kind, .seed = 63});
+  Rng rng(101);
+  const Fp s1(42);
+  const Fp s2(43);
+  const FpVec sh1 = share_value(s1, c.params, rng);
+  const FpVec sh2 = share_value(s2, c.params, rng);
+  std::vector<PubRec*> inst;
+  for (int i = 0; i < c.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<PubRec>("pub", 2, nullptr));
+    inst.back()->start(FpVec{sh1[static_cast<std::size_t>(i)],
+                             sh2[static_cast<std::size_t>(i)]});
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  for (PubRec* p : inst) {
+    ASSERT_TRUE(p->has_output());
+    EXPECT_EQ(p->values()[0], s1);
+    EXPECT_EQ(p->values()[1], s2);
+  }
+}
+
+TEST_P(ReconTest, BeaverMultiplies) {
+  const auto& c = GetParam();
+  auto sim = make_sim({.params = c.params, .kind = c.kind, .seed = 64});
+  Rng rng(102);
+  const Fp x(6), y(7), a(11), b(13);
+  const Fp cab = a * b;
+  const FpVec xs = share_value(x, c.params, rng);
+  const FpVec ys = share_value(y, c.params, rng);
+  const FpVec as = share_value(a, c.params, rng);
+  const FpVec bs = share_value(b, c.params, rng);
+  const FpVec cs = share_value(cab, c.params, rng);
+  std::vector<Beaver*> inst;
+  for (int i = 0; i < c.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<Beaver>("bv", 1, nullptr));
+    TripleShares t;
+    t.a = {as[static_cast<std::size_t>(i)]};
+    t.b = {bs[static_cast<std::size_t>(i)]};
+    t.c = {cs[static_cast<std::size_t>(i)]};
+    inst.back()->start(FpVec{xs[static_cast<std::size_t>(i)]},
+                       FpVec{ys[static_cast<std::size_t>(i)]}, t);
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  // The z-shares must reconstruct to x*y.
+  FpVec pts_x, pts_y;
+  for (int i = 0; i < c.params.n; ++i) {
+    ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->has_output());
+    pts_x.push_back(eval_point(i));
+    pts_y.push_back(inst[static_cast<std::size_t>(i)]->z_shares()[0]);
+  }
+  const Polynomial f = Polynomial::interpolate(pts_x, pts_y);
+  EXPECT_LE(f.degree(), c.params.ts);
+  EXPECT_EQ(f.eval(Fp(0)), x * y);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReconTest,
+    ::testing::Values(ReconCase{{4, 1, 0}, NetworkKind::synchronous},
+                      ReconCase{{4, 1, 0}, NetworkKind::asynchronous},
+                      ReconCase{{7, 2, 1}, NetworkKind::synchronous},
+                      ReconCase{{7, 2, 1}, NetworkKind::asynchronous},
+                      ReconCase{{10, 3, 1}, NetworkKind::synchronous},
+                      ReconCase{{10, 3, 1}, NetworkKind::asynchronous}));
+
+// ----------------------------------------------------------------- VTS --
+
+struct VtsHarness {
+  std::unique_ptr<Simulation> sim;
+  std::vector<Vts*> instances;
+
+  VtsHarness(const SimSpec& spec, PartyId dealer, int num_triples, PartySet z,
+             std::shared_ptr<Adversary> adv = nullptr, bool sabotage = false)
+      : sim(make_sim(spec, std::move(adv))) {
+    for (int i = 0; i < sim->n(); ++i) {
+      instances.push_back(&sim->party(i).spawn<Vts>("vts", dealer, 0,
+                                                    num_triples, z, nullptr));
+    }
+    instances[static_cast<std::size_t>(dealer)]->start(sabotage);
+  }
+
+  /// Interpolates every party's triple shares and checks c = a*b, degree ts.
+  void expect_valid_triples(const PartySet& corrupt, int num_triples) const {
+    for (int l = 0; l < num_triples; ++l) {
+      FpVec xs;
+      FpVec sa, sb, sc;
+      for (int i = 0; i < sim->n(); ++i) {
+        if (corrupt.contains(i)) continue;
+        Vts* v = instances[static_cast<std::size_t>(i)];
+        ASSERT_EQ(v->outcome(), VtsOutcome::triples) << "party " << i;
+        xs.push_back(eval_point(i));
+        sa.push_back(v->triples().a[static_cast<std::size_t>(l)]);
+        sb.push_back(v->triples().b[static_cast<std::size_t>(l)]);
+        sc.push_back(v->triples().c[static_cast<std::size_t>(l)]);
+      }
+      const Polynomial fa = Polynomial::interpolate(xs, sa);
+      const Polynomial fb = Polynomial::interpolate(xs, sb);
+      const Polynomial fc = Polynomial::interpolate(xs, sc);
+      EXPECT_LE(fa.degree(), sim->params().ts);
+      EXPECT_LE(fb.degree(), sim->params().ts);
+      EXPECT_LE(fc.degree(), sim->params().ts);
+      EXPECT_EQ(fa.eval(Fp(0)) * fb.eval(Fp(0)), fc.eval(Fp(0)))
+          << "triple " << l << " violates c = a*b";
+    }
+  }
+};
+
+struct VtsCase {
+  ProtocolParams params;
+  NetworkKind kind;
+  bool ideal;
+  std::uint64_t z_mask;
+  std::uint64_t seed;
+};
+
+class VtsModeTest : public ::testing::TestWithParam<VtsCase> {};
+
+TEST_P(VtsModeTest, HonestDealerProducesValidTriples) {
+  const auto& c = GetParam();
+  VtsHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal},
+               0, 2, PartySet{c.z_mask});
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  h.expect_valid_triples({}, 2);
+  // Dealer knows its own triples and they satisfy the relation.
+  const auto& plain = h.instances[0]->dealer_triples();
+  for (const auto& t : plain) EXPECT_EQ(t[0] * t[1], t[2]);
+}
+
+TEST_P(VtsModeTest, SilentCorruptPartiesTolerated) {
+  const auto& c = GetParam();
+  const PartySet z{c.z_mask};
+  const int budget =
+      c.kind == NetworkKind::synchronous ? c.params.ts : c.params.ta;
+  if (z.empty() || z.size() > budget) GTEST_SKIP();
+  auto adv = std::make_shared<ScriptedAdversary>(z);
+  for (int id : z.to_vector()) adv->silence(id);
+  VtsHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal},
+               0, 1, z, adv);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  h.expect_valid_triples(z, 1);
+}
+
+TEST_P(VtsModeTest, CheatingDealerIsDiscarded) {
+  const auto& c = GetParam();
+  if (c.kind == NetworkKind::asynchronous && c.params.ta == 0) {
+    GTEST_SKIP() << "no corruption budget in this network";
+  }
+  // The corrupt dealer *shares* non-multiplication triples (c != a*b);
+  // the private/public X(i)Y(i)=Z(i) checks must catch it — the dealer is
+  // discarded (or never concludes); no honest party ever accepts a bad
+  // triple.
+  const PartySet corrupt = PartySet::of({0});
+  auto adv = std::make_shared<ScriptedAdversary>(corrupt);
+  VtsHarness h({.params = c.params, .kind = c.kind, .seed = c.seed,
+                .ideal = c.ideal},
+               0, 1, PartySet{c.z_mask}, adv, /*sabotage=*/true);
+  EXPECT_EQ(h.sim->run(), RunStatus::quiescent);
+  for (int i = 1; i < c.params.n; ++i) {
+    EXPECT_NE(h.instances[static_cast<std::size_t>(i)]->outcome(),
+              VtsOutcome::triples)
+        << "party " << i << " accepted a sabotaged triple";
+  }
+  // Whatever happened, honest parties that output triples hold a *valid*
+  // multiplication triple (the whole point of the verification).
+  PartySet holders;
+  for (int i = 1; i < c.params.n; ++i) {
+    if (h.instances[static_cast<std::size_t>(i)]->outcome() ==
+        VtsOutcome::triples) {
+      holders.insert(i);
+    }
+  }
+  if (holders.size() >= c.params.ts + 1) {
+    FpVec xs, sa, sb, sc;
+    for (int i : holders.to_vector()) {
+      Vts* v = h.instances[static_cast<std::size_t>(i)];
+      xs.push_back(eval_point(i));
+      sa.push_back(v->triples().a[0]);
+      sb.push_back(v->triples().b[0]);
+      sc.push_back(v->triples().c[0]);
+    }
+    // Shares must still be consistent degree-ts sharings.
+    const Polynomial fa = Polynomial::interpolate(xs, sa);
+    const Polynomial fb = Polynomial::interpolate(xs, sb);
+    const Polynomial fc = Polynomial::interpolate(xs, sc);
+    if (static_cast<int>(xs.size()) > c.params.ts + 1) {
+      EXPECT_LE(fa.degree(), c.params.ts);
+      EXPECT_LE(fb.degree(), c.params.ts);
+      EXPECT_LE(fc.degree(), c.params.ts);
+    }
+    EXPECT_EQ(fa.eval(Fp(0)) * fb.eval(Fp(0)), fc.eval(Fp(0)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VtsModeTest,
+    ::testing::Values(
+        VtsCase{{4, 1, 0}, NetworkKind::synchronous, false, 0b1000, 71},
+        VtsCase{{4, 1, 0}, NetworkKind::asynchronous, false, 0b1000, 72},
+        VtsCase{{5, 1, 1}, NetworkKind::synchronous, false, 0, 73},
+        VtsCase{{5, 1, 1}, NetworkKind::asynchronous, false, 0, 74},
+        VtsCase{{7, 2, 1}, NetworkKind::synchronous, true, 0b1000000, 75},
+        VtsCase{{7, 2, 1}, NetworkKind::asynchronous, true, 0b1000000, 76}));
+
+// ----------------------------------------------------------- TripleExt --
+
+TEST(TripleExt, ExtractedTriplesAreValid) {
+  const ProtocolParams p{7, 2, 1};
+  auto sim = make_sim({.params = p, .kind = NetworkKind::synchronous,
+                       .seed = 81});
+  Rng rng(81);
+  // m = 5 dealers, each contributing 2 triples.
+  const int m = 5;
+  const int width = 2;
+  std::vector<std::vector<TripleShares>> per_party(
+      static_cast<std::size_t>(p.n));
+  for (auto& v : per_party) v.resize(m);
+  for (int d = 0; d < m; ++d) {
+    for (int l = 0; l < width; ++l) {
+      const Fp a(rng.next_below(1000000));
+      const Fp b(rng.next_below(1000000));
+      const FpVec sa = share_value(a, p, rng);
+      const FpVec sb = share_value(b, p, rng);
+      const FpVec sc = share_value(a * b, p, rng);
+      for (int i = 0; i < p.n; ++i) {
+        per_party[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]
+            .a.push_back(sa[static_cast<std::size_t>(i)]);
+        per_party[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]
+            .b.push_back(sb[static_cast<std::size_t>(i)]);
+        per_party[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]
+            .c.push_back(sc[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  std::vector<TripleExt*> inst;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<TripleExt>("ext", m, width, nullptr));
+    inst.back()->start(per_party[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  const int out_count = width * inst[0]->extracted_per_batch();
+  ASSERT_GE(out_count, 1);
+  for (int j = 0; j < out_count; ++j) {
+    FpVec xs, sa, sb, sc;
+    for (int i = 0; i < p.n; ++i) {
+      ASSERT_TRUE(inst[static_cast<std::size_t>(i)]->has_output());
+      xs.push_back(eval_point(i));
+      sa.push_back(inst[static_cast<std::size_t>(i)]
+                       ->triples()
+                       .a[static_cast<std::size_t>(j)]);
+      sb.push_back(inst[static_cast<std::size_t>(i)]
+                       ->triples()
+                       .b[static_cast<std::size_t>(j)]);
+      sc.push_back(inst[static_cast<std::size_t>(i)]
+                       ->triples()
+                       .c[static_cast<std::size_t>(j)]);
+    }
+    const Polynomial fa = Polynomial::interpolate(xs, sa);
+    const Polynomial fb = Polynomial::interpolate(xs, sb);
+    const Polynomial fc = Polynomial::interpolate(xs, sc);
+    EXPECT_LE(fa.degree(), p.ts);
+    EXPECT_LE(fb.degree(), p.ts);
+    EXPECT_LE(fc.degree(), p.ts);
+    EXPECT_EQ(fa.eval(Fp(0)) * fb.eval(Fp(0)), fc.eval(Fp(0)))
+        << "extracted triple " << j;
+  }
+}
+
+TEST(TripleExt, RejectsEvenDealerCount) {
+  const ProtocolParams p{7, 2, 1};
+  auto sim = make_sim({.params = p});
+  EXPECT_THROW(sim->party(0).spawn<TripleExt>("ext", 4, 1, nullptr),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace nampc
