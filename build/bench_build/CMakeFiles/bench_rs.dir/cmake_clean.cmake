@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rs"
+  "../bench/bench_rs.pdb"
+  "CMakeFiles/bench_rs.dir/bench_rs.cpp.o"
+  "CMakeFiles/bench_rs.dir/bench_rs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

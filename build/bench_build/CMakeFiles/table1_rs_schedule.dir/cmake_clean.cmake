@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_rs_schedule"
+  "../bench/table1_rs_schedule.pdb"
+  "CMakeFiles/table1_rs_schedule.dir/table1_rs_schedule.cpp.o"
+  "CMakeFiles/table1_rs_schedule.dir/table1_rs_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rs_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

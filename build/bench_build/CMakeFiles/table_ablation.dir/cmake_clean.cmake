@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_ablation"
+  "../bench/table_ablation.pdb"
+  "CMakeFiles/table_ablation.dir/table_ablation.cpp.o"
+  "CMakeFiles/table_ablation.dir/table_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

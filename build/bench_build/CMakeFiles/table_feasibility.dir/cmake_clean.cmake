@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_feasibility"
+  "../bench/table_feasibility.pdb"
+  "CMakeFiles/table_feasibility.dir/table_feasibility.cpp.o"
+  "CMakeFiles/table_feasibility.dir/table_feasibility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_lowerbound"
+  "../bench/table_lowerbound.pdb"
+  "CMakeFiles/table_lowerbound.dir/table_lowerbound.cpp.o"
+  "CMakeFiles/table_lowerbound.dir/table_lowerbound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

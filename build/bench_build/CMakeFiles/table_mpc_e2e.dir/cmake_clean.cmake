@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_mpc_e2e"
+  "../bench/table_mpc_e2e.pdb"
+  "CMakeFiles/table_mpc_e2e.dir/table_mpc_e2e.cpp.o"
+  "CMakeFiles/table_mpc_e2e.dir/table_mpc_e2e.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_mpc_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_primitives"
+  "../bench/table_primitives.pdb"
+  "CMakeFiles/table_primitives.dir/table_primitives.cpp.o"
+  "CMakeFiles/table_primitives.dir/table_primitives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_vss"
+  "../bench/table_vss.pdb"
+  "CMakeFiles/table_vss.dir/table_vss.cpp.o"
+  "CMakeFiles/table_vss.dir/table_vss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_vss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_vts"
+  "../bench/table_vts.pdb"
+  "CMakeFiles/table_vts.dir/table_vts.cpp.o"
+  "CMakeFiles/table_vts.dir/table_vts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_vts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_wss"
+  "../bench/table_wss.pdb"
+  "CMakeFiles/table_wss.dir/table_wss.cpp.o"
+  "CMakeFiles/table_wss.dir/table_wss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_wss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

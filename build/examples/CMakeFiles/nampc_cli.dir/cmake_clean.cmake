@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nampc_cli.dir/nampc_cli.cpp.o"
+  "CMakeFiles/nampc_cli.dir/nampc_cli.cpp.o.d"
+  "nampc_cli"
+  "nampc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nampc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

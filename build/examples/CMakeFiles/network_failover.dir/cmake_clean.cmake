@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_failover.dir/network_failover.cpp.o"
+  "CMakeFiles/network_failover.dir/network_failover.cpp.o.d"
+  "network_failover"
+  "network_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

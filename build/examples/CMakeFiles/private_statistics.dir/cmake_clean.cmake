@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_statistics.dir/private_statistics.cpp.o"
+  "CMakeFiles/private_statistics.dir/private_statistics.cpp.o.d"
+  "private_statistics"
+  "private_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_playground.dir/sharing_playground.cpp.o"
+  "CMakeFiles/sharing_playground.dir/sharing_playground.cpp.o.d"
+  "sharing_playground"
+  "sharing_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acs/acs.cpp" "src/CMakeFiles/nampc.dir/acs/acs.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/acs/acs.cpp.o.d"
+  "/root/repo/src/adversary/scripted.cpp" "src/CMakeFiles/nampc.dir/adversary/scripted.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/adversary/scripted.cpp.o.d"
+  "/root/repo/src/broadcast/aba.cpp" "src/CMakeFiles/nampc.dir/broadcast/aba.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/broadcast/aba.cpp.o.d"
+  "/root/repo/src/broadcast/acast.cpp" "src/CMakeFiles/nampc.dir/broadcast/acast.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/broadcast/acast.cpp.o.d"
+  "/root/repo/src/broadcast/ba.cpp" "src/CMakeFiles/nampc.dir/broadcast/ba.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/broadcast/ba.cpp.o.d"
+  "/root/repo/src/broadcast/bc.cpp" "src/CMakeFiles/nampc.dir/broadcast/bc.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/broadcast/bc.cpp.o.d"
+  "/root/repo/src/broadcast/sba.cpp" "src/CMakeFiles/nampc.dir/broadcast/sba.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/broadcast/sba.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/nampc.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/field/fp.cpp" "src/CMakeFiles/nampc.dir/field/fp.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/field/fp.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/nampc.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/lowerbound/lowerbound.cpp" "src/CMakeFiles/nampc.dir/lowerbound/lowerbound.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/lowerbound/lowerbound.cpp.o.d"
+  "/root/repo/src/mpc/mpc.cpp" "src/CMakeFiles/nampc.dir/mpc/mpc.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/mpc/mpc.cpp.o.d"
+  "/root/repo/src/net/simulation.cpp" "src/CMakeFiles/nampc.dir/net/simulation.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/net/simulation.cpp.o.d"
+  "/root/repo/src/poly/bivariate.cpp" "src/CMakeFiles/nampc.dir/poly/bivariate.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/poly/bivariate.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/CMakeFiles/nampc.dir/poly/polynomial.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/poly/polynomial.cpp.o.d"
+  "/root/repo/src/rs/linalg.cpp" "src/CMakeFiles/nampc.dir/rs/linalg.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/rs/linalg.cpp.o.d"
+  "/root/repo/src/rs/reed_solomon.cpp" "src/CMakeFiles/nampc.dir/rs/reed_solomon.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/rs/reed_solomon.cpp.o.d"
+  "/root/repo/src/sharing/wss.cpp" "src/CMakeFiles/nampc.dir/sharing/wss.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/sharing/wss.cpp.o.d"
+  "/root/repo/src/triples/beaver.cpp" "src/CMakeFiles/nampc.dir/triples/beaver.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/triples/beaver.cpp.o.d"
+  "/root/repo/src/triples/recon.cpp" "src/CMakeFiles/nampc.dir/triples/recon.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/triples/recon.cpp.o.d"
+  "/root/repo/src/triples/triple_ext.cpp" "src/CMakeFiles/nampc.dir/triples/triple_ext.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/triples/triple_ext.cpp.o.d"
+  "/root/repo/src/triples/vts.cpp" "src/CMakeFiles/nampc.dir/triples/vts.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/triples/vts.cpp.o.d"
+  "/root/repo/src/util/small_set.cpp" "src/CMakeFiles/nampc.dir/util/small_set.cpp.o" "gcc" "src/CMakeFiles/nampc.dir/util/small_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

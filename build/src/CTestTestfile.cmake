@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("field")
+subdirs("poly")
+subdirs("rs")
+subdirs("graph")
+subdirs("net")
+subdirs("adversary")
+subdirs("broadcast")
+subdirs("acs")
+subdirs("sharing")
+subdirs("triples")
+subdirs("circuit")
+subdirs("mpc")
+subdirs("core")
+subdirs("lowerbound")

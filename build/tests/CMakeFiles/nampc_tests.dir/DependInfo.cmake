@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acs.cpp" "tests/CMakeFiles/nampc_tests.dir/test_acs.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_acs.cpp.o.d"
+  "/root/repo/tests/test_broadcast.cpp" "tests/CMakeFiles/nampc_tests.dir/test_broadcast.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_broadcast.cpp.o.d"
+  "/root/repo/tests/test_crosscheck.cpp" "tests/CMakeFiles/nampc_tests.dir/test_crosscheck.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_crosscheck.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/nampc_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/nampc_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/nampc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hardening.cpp" "tests/CMakeFiles/nampc_tests.dir/test_hardening.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_hardening.cpp.o.d"
+  "/root/repo/tests/test_lowerbound.cpp" "tests/CMakeFiles/nampc_tests.dir/test_lowerbound.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_lowerbound.cpp.o.d"
+  "/root/repo/tests/test_mpc.cpp" "tests/CMakeFiles/nampc_tests.dir/test_mpc.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_mpc.cpp.o.d"
+  "/root/repo/tests/test_poly.cpp" "tests/CMakeFiles/nampc_tests.dir/test_poly.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_poly.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/nampc_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_rs.cpp" "tests/CMakeFiles/nampc_tests.dir/test_rs.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_rs.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/nampc_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sweeps.cpp" "tests/CMakeFiles/nampc_tests.dir/test_sweeps.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_sweeps.cpp.o.d"
+  "/root/repo/tests/test_triples.cpp" "tests/CMakeFiles/nampc_tests.dir/test_triples.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_triples.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/nampc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vss.cpp" "tests/CMakeFiles/nampc_tests.dir/test_vss.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_vss.cpp.o.d"
+  "/root/repo/tests/test_wss.cpp" "tests/CMakeFiles/nampc_tests.dir/test_wss.cpp.o" "gcc" "tests/CMakeFiles/nampc_tests.dir/test_wss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nampc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
