@@ -1,11 +1,16 @@
 // Small table-printing helpers shared by the experiment regenerators.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/json.h"
 
 namespace nampc::bench {
 
@@ -47,6 +52,26 @@ class Table {
     for (const auto& r : rows_) print_row(r);
   }
 
+  /// Emits the table as {"headers": [...], "rows": [{header: cell}...]}.
+  /// Cells stay strings: they are already formatted for the text table and
+  /// string cells keep the trajectory diff-stable across formatting tweaks.
+  void write_json(JsonWriter& j) const {
+    j.begin_object();
+    j.key("headers").begin_array();
+    for (const auto& h : headers_) j.value(h);
+    j.end_array();
+    j.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      j.begin_object();
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        j.kv(headers_[c], c < r.size() ? r[c] : std::string());
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
  private:
   template <typename T>
   static std::string to_cell(T&& v) {
@@ -62,5 +87,63 @@ class Table {
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
+
+/// Machine-readable mirror of a regenerator's text output (schema
+/// "nampc-bench/1"). Collect every printed table under its banner title,
+/// then save() writes BENCH_<name>.json into $NAMPC_BENCH_JSON_DIR (default:
+/// current directory) — these files are committed as a perf trajectory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  void add(const std::string& title, const Table& table) {
+    sections_.emplace_back(title, table);
+  }
+
+  void write(std::ostream& os) const {
+    JsonWriter j(os);
+    j.begin_object();
+    j.kv("schema", "nampc-bench/1");
+    j.kv("name", name_);
+    j.key("notes").begin_object();
+    for (const auto& [k, v] : notes_) j.kv(k, v);
+    j.end_object();
+    j.key("sections").begin_array();
+    for (const auto& [title, table] : sections_) {
+      j.begin_object();
+      j.kv("title", title);
+      j.key("table");
+      table.write_json(j);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+    os << "\n";
+  }
+
+  /// Returns the path written, or "" on failure (reported on stderr).
+  std::string save() const {
+    const char* dir = std::getenv("NAMPC_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir && *dir ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "BENCH json: cannot open " << path << "\n";
+      return "";
+    }
+    write(out);
+    std::cout << "\n[wrote " << path << "]\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<std::pair<std::string, Table>> sections_;
+};
 
 }  // namespace nampc::bench

@@ -50,9 +50,11 @@ std::string validate_row(int ts, int ta, int x) {
   return "ok";
 }
 
-void print_schedule(int ts, int ta) {
-  bench::banner("Table 1 — simultaneous error correction and detection (ts=" +
-                std::to_string(ts) + ", ta=" + std::to_string(ta) + ")");
+void print_schedule(bench::BenchReport& report, int ts, int ta) {
+  const std::string title =
+      "Table 1 — simultaneous error correction and detection (ts=" +
+      std::to_string(ts) + ", ta=" + std::to_string(ta) + ")";
+  bench::banner(title);
   bench::Table t({"points received", "correct", "detect", "outcome (sync)",
                   "outcome (async)", "empirical"});
   for (int x = 0; x <= ts; ++x) {
@@ -73,6 +75,7 @@ void print_schedule(int ts, int ta) {
           validate_row(ts, ta, x));
   }
   t.print();
+  report.add(title, t);
 }
 
 }  // namespace
@@ -81,8 +84,10 @@ int main() {
   std::cout << "E1: Table 1 of [Patil-Patra PODC'25] — decode schedule of "
                "Corollaries 3.3/3.4,\nvalidated against the Berlekamp-Welch "
                "implementation (20 random codewords per cell).\n";
-  print_schedule(/*ts=*/2, /*ta=*/1);   // the n=7 optimal point
-  print_schedule(/*ts=*/3, /*ta=*/2);   // the n=11 sweep point
-  print_schedule(/*ts=*/4, /*ta=*/2);   // 2ta = ts boundary
+  bench::BenchReport report("rs_schedule");
+  print_schedule(report, /*ts=*/2, /*ta=*/1);   // the n=7 optimal point
+  print_schedule(report, /*ts=*/3, /*ta=*/2);   // the n=11 sweep point
+  print_schedule(report, /*ts=*/4, /*ta=*/2);   // 2ta = ts boundary
+  report.save();
   return 0;
 }

@@ -64,10 +64,13 @@ Stats run_wss(ProtocolParams p, int num_secrets, int instances, bool ideal,
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ablation");
   const ProtocolParams p{7, 2, 1};
 
-  bench::banner("A1 — batching: L secrets in one Π_WSS vs L instances "
-                "(n=7, ts=2, ta=1, full primitives, sync)");
+  const std::string t1 =
+      "A1 — batching: L secrets in one Π_WSS vs L instances "
+      "(n=7, ts=2, ta=1, full primitives, sync)";
+  bench::banner(t1);
   bench::Table a1({"L", "batched msgs", "batched words", "separate msgs",
                    "separate words", "msg amplification"});
   for (int l : {1, 2, 4, 8, 16}) {
@@ -79,11 +82,13 @@ int main() {
                static_cast<double>(batched.messages));
   }
   a1.print();
+  report.add(t1, a1);
   std::cout << "(batched payload grows with L; the broadcast/agreement "
                "machinery — the dominant message cost — is paid once)\n";
 
-  bench::banner("A2 — primitive mode: Full SBA/ABA vs Ideal gadgets "
-                "(one Π_WSS, sync)");
+  const std::string t2 =
+      "A2 — primitive mode: Full SBA/ABA vs Ideal gadgets (one Π_WSS, sync)";
+  bench::banner(t2);
   bench::Table a2({"n", "ts", "ta", "full msgs", "ideal msgs", "ratio",
                    "full latest t", "ideal latest t"});
   for (ProtocolParams q : {ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
@@ -96,9 +101,12 @@ int main() {
            full.latest, ideal.latest);
   }
   a2.print();
+  report.add(t2, a2);
 
-  bench::banner("A3 — Δ-scaling: completion time linear in Δ, messages "
-                "invariant (one Π_WSS, n=7)");
+  const std::string t3 =
+      "A3 — Δ-scaling: completion time linear in Δ, messages invariant "
+      "(one Π_WSS, n=7)";
+  bench::banner(t3);
   bench::Table a3({"delta", "latest t", "t / delta", "messages"});
   for (Time d : {5, 10, 20, 40}) {
     const Stats s = run_wss(p, 1, 1, false, d);
@@ -106,12 +114,15 @@ int main() {
            s.messages);
   }
   a3.print();
+  report.add(t3, a3);
   std::cout << "(t/delta constant and messages constant => the protocol's "
                "round structure is delay-independent, as the formulas "
                "require)\n";
 
-  bench::banner("A4 — ABA coin source (substitution #2): ideal common coin "
-                "vs Ben-Or local coins (async, mixed inputs, 40 seeds)");
+  const std::string t4 =
+      "A4 — ABA coin source (substitution #2): ideal common coin vs Ben-Or "
+      "local coins (async, mixed inputs, 40 seeds)";
+  bench::banner(t4);
   bench::Table a4({"coin", "runs", "all terminated", "agreement", "avg rounds",
                    "max rounds"});
   for (bool local : {false, true}) {
@@ -158,8 +169,10 @@ int main() {
            static_cast<double>(total_rounds) / runs, max_rounds);
   }
   a4.print();
+  report.add(t4, a4);
   std::cout << "(local coins: almost-surely terminating — more rounds, same "
                "agreement; the ideal coin models the coin-tossing "
                "subprotocols of [24, 6])\n";
+  report.save();
   return 0;
 }

@@ -30,8 +30,11 @@ const char* regime_name(ResiliencyRegime r) {
 
 int main() {
   std::cout << "E2/E9: feasibility frontier of Theorem 1.1 vs prior work.\n";
+  bench::BenchReport report("feasibility");
 
-  bench::banner("Minimal n per (ts, ta): this paper vs n > 3ts + ta [ACC'22]");
+  const std::string t1 =
+      "Minimal n per (ts, ta): this paper vs n > 3ts + ta [ACC'22]";
+  bench::banner(t1);
   bench::Table t({"ts", "ta", "regime", "min n (paper)", "min n (prior)",
                   "parties saved"});
   for (int ts = 1; ts <= 8; ++ts) {
@@ -42,8 +45,10 @@ int main() {
     }
   }
   t.print();
+  report.add(t1, t);
 
-  bench::banner("Resilience frontier: max ts tolerable at fixed n");
+  const std::string t2 = "Resilience frontier: max ts tolerable at fixed n";
+  bench::banner(t2);
   bench::Table f({"n", "ta=0", "ta=1", "ta=2", "ta=3"});
   for (int n = 4; n <= 21; ++n) {
     auto cell = [n](int ta) {
@@ -53,8 +58,11 @@ int main() {
     f.row(n, cell(0), cell(1), cell(2), cell(3));
   }
   f.print();
+  report.add(t2, f);
 
-  bench::banner("Boundary exactness check (n = min is feasible, n-1 is not)");
+  const std::string t3 =
+      "Boundary exactness check (n = min is feasible, n-1 is not)";
+  bench::banner(t3);
   bench::Table b({"ts", "ta", "n = min", "feasible(n)", "feasible(n-1)"});
   bool all_exact = true;
   for (int ts = 1; ts <= 10; ++ts) {
@@ -69,7 +77,10 @@ int main() {
     }
   }
   b.print();
+  report.add(t3, b);
+  report.note("all_boundaries_exact", all_exact ? "yes" : "no");
   std::cout << (all_exact ? "\nall boundaries exact.\n"
                           : "\nBOUNDARY VIOLATION FOUND\n");
+  report.save();
   return all_exact ? 0 : 1;
 }

@@ -33,7 +33,9 @@ int main() {
             << "  (the boundary case; feasible(5,1,1) = "
             << (feasible(5, 1, 1) ? "yes" : "no") << ")\n";
 
-  bench::banner("One violation witness per candidate tie-break rule");
+  bench::BenchReport report("lowerbound");
+  const std::string t1 = "One violation witness per candidate tie-break rule";
+  bench::banner(t1);
   bench::Table t({"tie-break rule", "x1", "x2", "corrupt relay",
                   "fabricated x1", "P1 output", "P2 output", "verdict"});
   bool all_broken = true;
@@ -47,6 +49,9 @@ int main() {
                  : "survived (?)");
   }
   t.print();
+  report.add(t1, t);
+  report.note("all_rules_broken", all_broken ? "yes" : "no");
+  report.save();
   std::cout << (all_broken
                     ? "\nevery rule broken: no protocol exists at n = 2ts+2ta, "
                       "matching Theorem 5.1.\n"

@@ -88,6 +88,7 @@ int main() {
             << "(k = C(n, ts-ta) candidate Z-subsets all run in parallel — "
                "the dominant cost, exactly as the paper's construction "
                "prescribes.)\n";
+  bench::BenchReport report("mpc_e2e");
   struct Cfg {
     ProtocolParams p;
     bool ideal;
@@ -96,9 +97,10 @@ int main() {
   for (const Cfg& c : {Cfg{{4, 1, 0}, false, "k=4, full primitives"},
                        Cfg{{5, 1, 1}, false, "k=1, full primitives"},
                        Cfg{{7, 2, 1}, true, "k=7, ideal BA/SBA"}}) {
-    bench::banner("n=" + std::to_string(c.p.n) + " ts=" +
-                  std::to_string(c.p.ts) + " ta=" + std::to_string(c.p.ta) +
-                  "  (" + c.note + ")");
+    const std::string title =
+        "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
+        " ta=" + std::to_string(c.p.ta) + "  (" + c.note + ")";
+    bench::banner(title);
     bench::Table t({"network", "mults", "adversary", "correct", "latest t",
                     "messages", "payload words", "events"});
     for (NetworkKind kind :
@@ -118,6 +120,8 @@ int main() {
       }
     }
     t.print();
+    report.add(title, t);
   }
+  report.save();
   return 0;
 }

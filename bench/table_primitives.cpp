@@ -121,14 +121,16 @@ Row run_acs(ProtocolParams p, NetworkKind kind) {
 int main() {
   std::cout << "E7: primitive matrix (Full mode, honest runs), latency vs "
                "the T_* formulas.\n";
+  bench::BenchReport report("primitives");
   for (ProtocolParams p : {ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
                            ProtocolParams{10, 3, 1}}) {
     const Timing tm = Timing::derive(p, 10);
-    bench::banner("n=" + std::to_string(p.n) + " ts=" + std::to_string(p.ts) +
-                  " ta=" + std::to_string(p.ta) +
-                  "  (T_BC=" + std::to_string(tm.t_bc) +
-                  ", T_BA=" + std::to_string(tm.t_ba) +
-                  ", T_ACS=" + std::to_string(tm.t_acs) + ", Δ=10)");
+    const std::string title =
+        "n=" + std::to_string(p.n) + " ts=" + std::to_string(p.ts) +
+        " ta=" + std::to_string(p.ta) + "  (T_BC=" + std::to_string(tm.t_bc) +
+        ", T_BA=" + std::to_string(tm.t_ba) +
+        ", T_ACS=" + std::to_string(tm.t_acs) + ", Δ=10)";
+    bench::banner(title);
     bench::Table t({"primitive", "network", "all output", "consistent",
                     "latest output", "bound", "messages"});
     for (NetworkKind kind :
@@ -165,6 +167,8 @@ int main() {
       }
     }
     t.print();
+    report.add(title, t);
   }
+  report.save();
   return 0;
 }

@@ -90,6 +90,7 @@ int main() {
                "(ts+1)(5T_BC+T'_WSS+2T_BA); strong commitment: honest "
                "outputs are all-or-none and lie on one degree-ts "
                "polynomial; reveals stay inside Z.\n";
+  bench::BenchReport report("vss");
   struct Cfg {
     ProtocolParams p;
     bool ideal;
@@ -100,10 +101,12 @@ int main() {
         Cfg{{5, 1, 1}, false, PartySet{}},
         Cfg{{7, 2, 1}, true, PartySet::of({6})}}) {
     const Timing tm = Timing::derive(c.p, 10);
-    bench::banner("n=" + std::to_string(c.p.n) + " ts=" +
-                  std::to_string(c.p.ts) + " ta=" + std::to_string(c.p.ta) +
-                  " Z=" + c.z.str() + "  T_VSS=" + std::to_string(tm.t_vss) +
-                  (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]"));
+    const std::string title =
+        "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
+        " ta=" + std::to_string(c.p.ta) + " Z=" + c.z.str() +
+        "  T_VSS=" + std::to_string(tm.t_vss) +
+        (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]");
+    bench::banner(title);
     bench::Table t({"network", "adversary", "holders", "no output",
                     "latest t", "<=T_VSS", "deg<=ts", "reveals in Z",
                     "messages"});
@@ -121,8 +124,10 @@ int main() {
       }
     }
     t.print();
+    report.add(title, t);
   }
   std::cout << "(cheating-dealer rows: all-or-none outputs are both valid "
                "per strong commitment)\n";
+  report.save();
   return 0;
 }

@@ -82,6 +82,7 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
 int main() {
   std::cout << "E6: Pi_VTS matrix (Theorem 8.2). T_VTS = T_VSS + 3T_BC + 2Δ; "
                "an accepted triple always satisfies c = a*b.\n";
+  bench::BenchReport report("vts");
   struct Cfg {
     ProtocolParams p;
     bool ideal;
@@ -92,10 +93,12 @@ int main() {
         Cfg{{5, 1, 1}, false, PartySet{}},
         Cfg{{7, 2, 1}, true, PartySet::of({6})}}) {
     const Timing tm = Timing::derive(c.p, 10);
-    bench::banner("n=" + std::to_string(c.p.n) + " ts=" +
-                  std::to_string(c.p.ts) + " ta=" + std::to_string(c.p.ta) +
-                  " Z=" + c.z.str() + "  T_VTS=" + std::to_string(tm.t_vts) +
-                  (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]"));
+    const std::string title =
+        "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
+        " ta=" + std::to_string(c.p.ta) + " Z=" + c.z.str() +
+        "  T_VTS=" + std::to_string(tm.t_vts) +
+        (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]");
+    bench::banner(title);
     bench::Table t({"network", "adversary", "triples", "discarded", "none",
                     "c==a*b", "latest t", "<=T_VTS", "messages"});
     for (NetworkKind kind :
@@ -111,9 +114,11 @@ int main() {
       }
     }
     t.print();
+    report.add(title, t);
   }
   std::cout << "(bad-dealer rows: 'discarded'/'none' outcomes are the "
                "correct behaviour; 'c==a*b: yes' confirms no bad triple "
                "was ever accepted)\n";
+  report.save();
   return 0;
 }

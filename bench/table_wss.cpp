@@ -86,6 +86,7 @@ int main() {
   std::cout << "E4: Pi_WSS matrix (Theorem 6.3). T_WSS = "
                "(ts-ta+1)(5T_BC+2T_BA)+3Δ; restarts bounded by ts-ta; "
                "revealed rows bounded by ts-ta.\n";
+  bench::BenchReport report("wss");
   struct Cfg {
     ProtocolParams p;
     bool ideal;
@@ -93,10 +94,12 @@ int main() {
   for (const Cfg& c : {Cfg{{4, 1, 0}, false}, Cfg{{7, 2, 1}, false},
                        Cfg{{10, 3, 1}, true}}) {
     const Timing tm = Timing::derive(c.p, 10);
-    bench::banner("n=" + std::to_string(c.p.n) + " ts=" +
-                  std::to_string(c.p.ts) + " ta=" + std::to_string(c.p.ta) +
-                  "  T_WSS=" + std::to_string(tm.t_wss) +
-                  (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]"));
+    const std::string title =
+        "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
+        " ta=" + std::to_string(c.p.ta) + "  T_WSS=" +
+        std::to_string(tm.t_wss) +
+        (c.ideal ? "  [ideal BA/SBA]" : "  [full primitives]");
+    bench::banner(title);
     bench::Table t({"network", "adversary", "rows", "bot", "none",
                     "latest t", "<=T_WSS", "restarts", "revealed",
                     "consistent", "messages"});
@@ -113,6 +116,8 @@ int main() {
       }
     }
     t.print();
+    report.add(title, t);
   }
+  report.save();
   return 0;
 }

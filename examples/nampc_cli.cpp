@@ -13,14 +13,27 @@
 //     --adversary silent|garble  corrupt the last budget-many parties
 //     --secrets L                batch width for wss/vss (default 1)
 //
+//   observability:
+//     --trace FILE               write a Chrome trace_event / Perfetto
+//                                JSON trace of the run (virtual time)
+//     --report FILE              write a machine-readable run report
+//                                (schema nampc-run-report/1); "-" = stdout
+//     --log-level LVL            off|error|info|debug|trace (default error)
+//     --log-json                 emit logs as JSON lines on stderr
+//     --log-ring N               keep the last N log events (trace level)
+//                                and dump them on invariant failure
+//
 // Prints per-party outcomes, timing vs the paper's T_* bound, and the
 // run's message/event metrics. Exit code 0 iff all protocol guarantees
 // held in the run.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/nampc.h"
+#include "obs/report.h"
+#include "obs/tracer.h"
 
 using namespace nampc;
 
@@ -35,7 +48,22 @@ struct Options {
   bool ideal = false;
   std::string adversary = "none";
   int secrets = 1;
+  std::string trace_file;
+  std::string report_file;
+  std::string log_level;
+  bool log_json = false;
+  int log_ring = 0;
 };
+
+bool parse_log_level(const std::string& s, LogLevel& out) {
+  if (s == "off") out = LogLevel::off;
+  else if (s == "error") out = LogLevel::error;
+  else if (s == "info") out = LogLevel::info;
+  else if (s == "debug") out = LogLevel::debug;
+  else if (s == "trace") out = LogLevel::trace;
+  else return false;
+  return true;
+}
 
 bool parse(int argc, char** argv, Options& o) {
   if (argc < 2) return false;
@@ -57,6 +85,11 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--async") o.kind = NetworkKind::asynchronous;
     else if (a == "--ideal") o.ideal = true;
     else if (a == "--adversary" && i + 1 < argc) o.adversary = argv[++i];
+    else if (a == "--trace" && i + 1 < argc) o.trace_file = argv[++i];
+    else if (a == "--report" && i + 1 < argc) o.report_file = argv[++i];
+    else if (a == "--log-level" && i + 1 < argc) o.log_level = argv[++i];
+    else if (a == "--log-json") o.log_json = true;
+    else if (a == "--log-ring" && next(v)) o.log_ring = v;
     else {
       std::cerr << "unknown option: " << a << "\n";
       return false;
@@ -95,13 +128,31 @@ int run(const Options& o) {
   cfg.seed = o.seed;
   cfg.delta = o.delta;
   cfg.ideal_primitives = o.ideal;
+  if (!o.log_level.empty() && !parse_log_level(o.log_level, Log::level())) {
+    std::cerr << "unknown log level: " << o.log_level << "\n";
+    return 2;
+  }
+  if (o.log_json) Log::use_json_sink(std::cerr);
+  if (o.log_ring > 0) {
+    Log::set_ring(static_cast<std::size_t>(o.log_ring), LogLevel::trace);
+  }
+
   auto adv = build_adversary(o);
   const PartySet corrupt = adv->corrupt_set();
+  // The tracer must outlive the Simulation: spans close in instance dtors.
+  obs::Tracer tracer;
+  const bool want_obs = !o.trace_file.empty() || !o.report_file.empty();
   Simulation sim(cfg, adv);
+  if (want_obs) sim.set_tracer(&tracer);
   const Timing& tm = sim.timing();
   Rng rng(o.seed ^ 0xc11);
   const int n = o.params.n;
   bool ok = true;
+  RunStatus status = RunStatus::quiescent;
+  auto run_sim = [&] {
+    status = sim.run();
+    return status == RunStatus::quiescent;
+  };
 
   std::cout << "protocol=" << o.protocol << " n=" << n << " ts="
             << o.params.ts << " ta=" << o.params.ta << " network="
@@ -135,7 +186,7 @@ int run(const Options& o) {
           Fp(static_cast<std::uint64_t>(1000 + k)), o.params.ts, rng));
     }
     inst[0]->start(qs);
-    ok = sim.run() == RunStatus::quiescent;
+    ok = run_sim();
     const Time bound = o.protocol == "vss" ? tm.t_vss : tm.t_wss;
     for (int i = 0; i < n; ++i) {
       if (corrupt.contains(i)) continue;
@@ -170,7 +221,7 @@ int run(const Options& o) {
           &sim.party(i).spawn<Vts>("p", 0, 0, o.secrets, z, nullptr));
     }
     inst[0]->start();
-    ok = sim.run() == RunStatus::quiescent;
+    ok = run_sim();
     int holders = 0;
     for (int i = 0; i < n; ++i) {
       if (corrupt.contains(i)) continue;
@@ -192,7 +243,7 @@ int run(const Options& o) {
     for (int i = 0; i < n; ++i) {
       inst[static_cast<std::size_t>(i)]->start(i % 2 == 0);
     }
-    ok = sim.run() == RunStatus::quiescent;
+    ok = run_sim();
     std::optional<bool> agreed;
     for (int i = 0; i < n; ++i) {
       if (corrupt.contains(i)) continue;
@@ -217,7 +268,7 @@ int run(const Options& o) {
         if (!corrupt.contains(j)) inst[static_cast<std::size_t>(i)]->mark(j);
       }
     }
-    ok = sim.run() == RunStatus::quiescent;
+    ok = run_sim();
     std::optional<PartySet> com;
     for (int i = 0; i < n; ++i) {
       if (corrupt.contains(i)) continue;
@@ -244,7 +295,7 @@ int run(const Options& o) {
       inputs[i] = {Fp(static_cast<std::uint64_t>(i + 1))};
       inst.push_back(&sim.party(i).spawn<Mpc>("p", c, inputs[i], nullptr));
     }
-    ok = sim.run() == RunStatus::quiescent;
+    ok = run_sim();
     std::map<int, FpVec> eff = inputs;
     for (int id : corrupt.to_vector()) {
       if (o.adversary == "silent") eff[id] = {Fp(0)};
@@ -280,6 +331,31 @@ int run(const Options& o) {
             << " words=" << sim.metrics().words_sent
             << " events=" << sim.metrics().events_processed
             << " rs_decodes=" << sim.metrics().rs_decodes << "\n";
+
+  if (!o.trace_file.empty()) {
+    std::ofstream out(o.trace_file);
+    if (!out) {
+      std::cerr << "cannot open trace file: " << o.trace_file << "\n";
+      return 2;
+    }
+    tracer.write_chrome_trace(out);
+    std::cout << "trace: " << o.trace_file << " (" << tracer.spans().size()
+              << " spans, " << tracer.flows().size() << " flows)\n";
+  }
+  if (!o.report_file.empty()) {
+    if (o.report_file == "-") {
+      obs::write_run_report(std::cout, sim, status, &tracer);
+    } else {
+      std::ofstream out(o.report_file);
+      if (!out) {
+        std::cerr << "cannot open report file: " << o.report_file << "\n";
+        return 2;
+      }
+      obs::write_run_report(out, sim, status, &tracer);
+      std::cout << "report: " << o.report_file << "\n";
+    }
+  }
+
   std::cout << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }
@@ -292,7 +368,9 @@ int main(int argc, char** argv) {
     std::cerr
         << "usage: nampc_cli <wss|vss|vts|ba|acs|mpc> [--n N --ts T --ta T] "
            "[--async] [--seed S] [--delta D] [--ideal] "
-           "[--adversary silent|garble] [--secrets L]\n";
+           "[--adversary silent|garble] [--secrets L] "
+           "[--trace FILE] [--report FILE|-] [--log-level LVL] "
+           "[--log-json] [--log-ring N]\n";
     return 2;
   }
   try {

@@ -12,6 +12,7 @@ AcsCore::AcsCore(Party& party, std::string key, Time nominal_start,
       decisions_(static_cast<std::size_t>(num_slots)) {
   NAMPC_REQUIRE(num_slots >= 1 && num_slots <= 64, "bad slot count");
   NAMPC_REQUIRE(quorum >= 1 && quorum <= num_slots, "bad quorum");
+  span_kind("acs");
   bas_.reserve(static_cast<std::size_t>(num_slots));
   for (int j = 0; j < num_slots; ++j) {
     bas_.push_back(&make_child<Ba>("slot" + std::to_string(j), nominal_start_,
@@ -51,6 +52,7 @@ void AcsCore::on_ba_output(int slot, bool value) {
   // everything this party has not endorsed.
   if (!zero_fill_done_ && ones_ >= quorum_) {
     zero_fill_done_ = true;
+    phase("quorum");
     for (int j = 0; j < num_slots_; ++j) {
       if (!joined_.contains(j)) join(j, false);
     }
@@ -68,6 +70,7 @@ void AcsCore::maybe_finish() {
   }
   NAMPC_ASSERT(com.size() >= quorum_, "acs concluded below quorum");
   output_ = com;
+  span_done();
   if (on_output_) on_output_(com);
 }
 

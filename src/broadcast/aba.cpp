@@ -28,6 +28,7 @@ struct IdealAbaGadget {
 Aba::Aba(Party& party, std::string key, OutputFn on_output)
     : ProtocolInstance(party, std::move(key)), on_output_(std::move(on_output)) {
   metrics().ba_instances++;
+  span_kind("aba");
 }
 
 bool Aba::coin(int round) {
@@ -48,6 +49,7 @@ void Aba::start(bool input) {
         {my_id(), now(), [this](bool v) {
            if (!decided_.has_value()) {
              decided_ = v;
+             span_done();
              if (on_output_) on_output_(v);
            }
          }});
@@ -157,6 +159,7 @@ void Aba::try_advance() {
         if (!decided_.has_value()) {
           decided_ = w;
           decided_round_ = round_;
+          span_done();
           if (on_output_) on_output_(w);
         }
       } else if (ones >= t_plus_1) {

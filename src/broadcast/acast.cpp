@@ -8,6 +8,7 @@ Acast::Acast(Party& party, std::string key, PartyId sender, OutputFn on_output)
       on_output_(std::move(on_output)),
       threshold_(params().ts) {
   metrics().acast_instances++;
+  span_kind("acast");
 }
 
 void Acast::start(Words message) {
@@ -61,6 +62,7 @@ void Acast::maybe_output(const Words& m) {
   if (output_.has_value()) return;
   output_ = m;
   output_time_ = now();
+  span_done();
   if (on_output_) on_output_(*output_);
 }
 

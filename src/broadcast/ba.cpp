@@ -11,7 +11,9 @@ Ba::Ba(Party& party, std::string key, Time nominal_start, OutputFn on_output)
     bcs_.push_back(&make_child<Bc>("bc" + std::to_string(j), j, nominal_start_,
                                    nullptr));
   }
+  span_kind("ba");
   aba_ = &make_child<Aba>("aba", [this](bool v) {
+    span_done();
     if (on_output_) on_output_(v);
   });
   // Join the ABA once the BC layer has concluded AND this party has joined
@@ -38,6 +40,7 @@ void Ba::on_message(const Message& msg) { (void)msg; }
 void Ba::at_aba_start() {
   if (aba_joined_) return;
   aba_joined_ = true;
+  phase("aba_start");
   // Plurality rule of Protocol 4.7 over regular-mode outputs.
   int ones = 0;
   int zeros = 0;

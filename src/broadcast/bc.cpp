@@ -9,6 +9,7 @@ Bc::Bc(Party& party, std::string key, PartyId sender, Time nominal_start,
       nominal_start_(nominal_start),
       on_output_(std::move(on_output)) {
   metrics().bc_instances++;
+  span_kind("bc");
   acast_ = &make_child<Acast>("acast", sender_,
                               [this](const Words&) { on_acast_output(); });
   sba_ = &make_child<Sba>("sba", nullptr);
@@ -26,6 +27,7 @@ void Bc::on_message(const Message& msg) {
 }
 
 void Bc::at_sba_start() {
+  phase("sba_start");
   SbaValue input;
   if (acast_->has_output()) input = acast_->output();
   sba_->start(std::move(input));
@@ -40,6 +42,8 @@ void Bc::at_regular_output() {
   // The SBA concludes exactly at t_sba after its start; with the
   // message-before-timer ordering its output is available now.
   NAMPC_ASSERT(sba_->has_output(), "sba must have concluded by T_BC");
+  phase("regular_output");
+  span_done();
   regular_done_ = true;
   const SbaValue& agreed = sba_->output();
   if (acast_->has_output() && agreed.has_value() &&
@@ -62,6 +66,7 @@ void Bc::on_acast_output() {
   }
   current_ = acast_->output();
   value_time_ = now();
+  phase("fallback");
   if (on_output_) on_output_(current_, BcPhase::fallback);
 }
 

@@ -50,7 +50,9 @@ struct IdealSbaGadget {
 }  // namespace
 
 Sba::Sba(Party& party, std::string key, OutputFn on_output)
-    : ProtocolInstance(party, std::move(key)), on_output_(std::move(on_output)) {}
+    : ProtocolInstance(party, std::move(key)), on_output_(std::move(on_output)) {
+  span_kind("sba");
+}
 
 Words Sba::encode_value(const SbaValue& v) {
   Writer w;
@@ -176,6 +178,7 @@ void Sba::conclude_phase(int phase) {
 void Sba::finish() {
   if (done_) return;
   done_ = true;
+  span_done();
   if (on_output_) on_output_(output_);
 }
 

@@ -13,6 +13,7 @@ Mpc::Mpc(Party& party, std::string key, const Circuit& circuit,
   const int nn = n();
   const int ts = params().ts;
   const int ta = params().ta;
+  span_kind("mpc");
 
   // Candidate subsets Z of size ts - ta, in a canonical order shared by all
   // parties.
@@ -107,6 +108,7 @@ void Mpc::on_acs1(int z, PartySet com) {
 void Mpc::on_acs2(PartySet chosen) {
   NAMPC_ASSERT(!chosen.empty(), "slot-ACS concluded empty");
   chosen_z_ = chosen.first();
+  phase("subset_agreed");
   try_enter_online();
 }
 
@@ -125,6 +127,7 @@ void Mpc::try_enter_online() {
     }
   }
   online_entered_ = true;
+  phase("online");
   com_ = *done;
   com_order_ = done->to_vector();
   if (com_order_.size() % 2 == 0) com_order_.pop_back();  // m must be odd
@@ -147,6 +150,7 @@ void Mpc::try_enter_online() {
 
 void Mpc::on_extracted(const TripleShares& triples) {
   if (!pool_.a.empty() || output_.has_value()) return;
+  phase("extracted");
   pool_ = triples;
   NAMPC_ASSERT(static_cast<int>(pool_.size()) >=
                    circuit_.num_multiplications(),
@@ -244,12 +248,14 @@ void Mpc::on_level_products(int level, const FpVec& zv) {
 void Mpc::finish_outputs() {
   if (outputs_started_ || output_.has_value()) return;
   outputs_started_ = true;
+  phase("outputs");
   const auto& outs = circuit_.outputs();
   output_values_.assign(outs.size(), Fp(0));
   output_known_.assign(outs.size(), false);
   if (outs.empty()) {
     output_ = FpVec{};
     output_time_ = now();
+    span_done();
     if (on_output_) on_output_(*output_);
     return;
   }
@@ -284,6 +290,7 @@ void Mpc::finish_outputs() {
     // Nothing addressed to us beyond contributing shares below.
     output_ = output_values_;
     output_time_ = now();
+    span_done();
     if (on_output_) on_output_(*output_);
   }
   if (!public_idx.empty()) {
@@ -314,6 +321,7 @@ void Mpc::on_output_part(const std::vector<int>& indices,
   if (--pending_output_parts_ > 0) return;
   output_ = output_values_;
   output_time_ = now();
+  span_done();
   if (on_output_) on_output_(*output_);
 }
 

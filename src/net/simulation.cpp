@@ -1,6 +1,9 @@
 #include "net/simulation.h"
 
 #include <algorithm>
+#include <iostream>
+
+#include "obs/tracer.h"
 
 namespace nampc {
 
@@ -39,6 +42,7 @@ Party& Simulation::party(PartyId id) {
 
 void Simulation::schedule(Time t, std::function<void()> fn, int klass) {
   NAMPC_REQUIRE(t >= now_, "cannot schedule in the past");
+  if (tracer_) tracer_->on_schedule(t, klass);
   queue_.push(Event{t, klass, seq_++, std::move(fn)});
 }
 
@@ -56,9 +60,15 @@ void Simulation::post_message(Message msg) {
                 "message endpoints out of range");
   metrics_.messages_sent++;
   metrics_.words_sent += msg.payload.size();
+  if (tracer_) {
+    tracer_->on_send(msg.from, msg.instance, msg.payload.size());
+  }
 
   // Self-delivery bypasses the network (a party talking to itself).
   if (msg.from == msg.to) {
+    if (tracer_) {
+      tracer_->on_flow(msg.from, msg.to, msg.payload.size(), now_, now_);
+    }
     const PartyId to = msg.to;
     schedule(now_, [this, to, m = std::move(msg)] { party(to).deliver(m); },
              /*klass=*/0);
@@ -101,6 +111,10 @@ void Simulation::post_message(Message msg) {
     last = arrival;
   }
 
+  if (tracer_) {
+    tracer_->on_flow(final_msg.from, final_msg.to, final_msg.payload.size(),
+                     now_, arrival);
+  }
   const PartyId to = final_msg.to;
   schedule(
       arrival, [this, to, m = std::move(final_msg)] { party(to).deliver(m); },
@@ -110,6 +124,11 @@ void Simulation::post_message(Message msg) {
 RunStatus Simulation::run() {
   while (!queue_.empty()) {
     if (metrics_.events_processed >= config_.max_events) {
+      // A tripped event limit is almost always a livelock; the log ring
+      // (if enabled) holds the only actionable record of the final spins.
+      std::cerr << "nampc: event limit (" << config_.max_events
+                << ") tripped at t=" << now_ << "\n";
+      Log::dump_ring(std::cerr);
       return RunStatus::event_limit;
     }
     const Event& top = queue_.top();
@@ -120,7 +139,22 @@ RunStatus Simulation::run() {
     metrics_.events_processed++;
     fn();
   }
+  if (config_.privacy_audit && !config_.allow_infeasible) audit_privacy();
   return RunStatus::quiescent;
+}
+
+void Simulation::audit_privacy() const {
+  // The proofs bound the adversary's view by at most ts honest univariate
+  // polynomials per sharing instance (§6/§7 privacy arguments). Failing
+  // loudly here turns a silent privacy regression into a red test.
+  for (const auto& [dealer, worst] : metrics_.honest_polys_revealed) {
+    NAMPC_ASSERT(worst <= static_cast<std::uint64_t>(config_.params.ts),
+                 "privacy audit: dealer P" + std::to_string(dealer) +
+                     " had " + std::to_string(worst) +
+                     " honest polynomials revealed in one sharing instance "
+                     "(bound ts=" +
+                     std::to_string(config_.params.ts) + ")");
+  }
 }
 
 Party::Party(Simulation& sim, PartyId id)
@@ -165,9 +199,21 @@ void Party::deliver(const Message& msg) {
 }
 
 ProtocolInstance::ProtocolInstance(Party& party, std::string key)
-    : party_(party), key_(std::move(key)) {}
+    : party_(party), key_(std::move(key)) {
+  // The span opens here (not at registration) so that span_kind/phase calls
+  // from subclass constructors already find it; the base constructor runs
+  // first, so parent spans exist before their children's.
+  if (auto* tracer = party_.sim().tracer()) {
+    tracer->open_span(party_.id(), key_, party_.sim().now());
+  }
+}
 
-ProtocolInstance::~ProtocolInstance() { party_.unregister_instance(key_); }
+ProtocolInstance::~ProtocolInstance() {
+  if (auto* tracer = party_.sim().tracer()) {
+    tracer->close_span(party_.id(), key_, party_.sim().now());
+  }
+  party_.unregister_instance(key_);
+}
 
 void ProtocolInstance::send(PartyId to, int type, Words payload) {
   Message msg;
@@ -183,6 +229,21 @@ void ProtocolInstance::send_all(int type, const Words& payload) {
   for (int to = 0; to < n(); ++to) {
     send(to, type, payload);
   }
+}
+
+void ProtocolInstance::span_kind(const char* kind) {
+  kind_ = kind;
+  if (auto* tracer = sim().tracer()) tracer->set_kind(my_id(), key_, kind_);
+}
+
+void ProtocolInstance::phase(const std::string& name) {
+  if (auto* tracer = sim().tracer()) {
+    tracer->phase(my_id(), key_, name, now());
+  }
+}
+
+void ProtocolInstance::span_done() {
+  if (auto* tracer = sim().tracer()) tracer->mark_done(my_id(), key_, now());
 }
 
 void ProtocolInstance::at(Time t, std::function<void()> fn, int klass) {

@@ -30,6 +30,10 @@
 
 namespace nampc {
 
+namespace obs {
+class Tracer;
+}
+
 class Party;
 class ProtocolInstance;
 
@@ -39,6 +43,15 @@ enum class RunStatus {
   event_limit,  ///< safety valve tripped — almost certainly a bug or livelock
   horizon,      ///< only events beyond the configured horizon remain
 };
+
+[[nodiscard]] inline const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::quiescent: return "quiescent";
+    case RunStatus::event_limit: return "event_limit";
+    case RunStatus::horizon: return "horizon";
+  }
+  return "?";
+}
 
 /// One simulated execution.
 class Simulation {
@@ -65,6 +78,10 @@ class Simulation {
     /// The lower-bound experiment (§5) deliberately runs with parameters
     /// that violate Theorem 1.1; it sets this to skip feasibility checks.
     bool allow_infeasible = false;
+    /// Privacy audit at quiescence: assert that no dealer had more than ts
+    /// honest row polynomials revealed in any single sharing instance
+    /// (Metrics::honest_polys_revealed). Skipped under allow_infeasible.
+    bool privacy_audit = true;
   };
 
   Simulation(Config config, std::shared_ptr<Adversary> adversary);
@@ -79,8 +96,16 @@ class Simulation {
   [[nodiscard]] const Timing& timing() const { return timing_; }
   [[nodiscard]] NetworkKind kind() const { return config_.kind; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Adversary& adversary() { return *adversary_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Attaches (or detaches, with nullptr) an observability tracer. The
+  /// tracer is not owned and must outlive this Simulation — spans close
+  /// from protocol-instance destructors. With no tracer attached every
+  /// hook site is a single null-pointer check.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
 
   [[nodiscard]] Party& party(PartyId id);
   [[nodiscard]] int n() const { return config_.params.n; }
@@ -133,9 +158,12 @@ class Simulation {
 
   [[nodiscard]] Time default_delay(PartyId from, PartyId to);
 
+  void audit_privacy() const;
+
   Config config_;
   Timing timing_;
   std::shared_ptr<Adversary> adversary_;
+  obs::Tracer* tracer_ = nullptr;
   Metrics metrics_;
   Rng rng_;
   Time now_ = 0;
@@ -195,6 +223,15 @@ class Party {
 /// protected helpers for I/O and timers. Composite protocols own child
 /// instances (make_child), giving every protocol in the stack a stable
 /// address like "mpc/z3/d2/vts/vss/it1/inner4/rbc5".
+///
+/// Observability: every instance automatically gets a trace span (opened
+/// at registration, closed at destruction) when a Tracer is attached.
+/// Subclasses annotate it with span_kind (once, in the constructor, next
+/// to the Metrics instance counter), phase() for named transitions, and
+/// span_done() when the protocol delivers its output — done-begin is the
+/// per-primitive latency reported against the paper's T_* formulas.
+/// NAMPC_PLOG(level) logs with virtual time / party / kind / key attached
+/// centrally.
 class ProtocolInstance {
  public:
   ProtocolInstance(Party& party, std::string key);
@@ -223,6 +260,25 @@ class ProtocolInstance {
   void send(PartyId to, int type, Words payload = {});
   void send_all(int type, const Words& payload = {});
 
+  /// Tags this instance's trace span with a primitive kind ("bc", "wss",
+  /// ...). Call once from the constructor; also sets the log module used
+  /// by NAMPC_PLOG and Log per-module level filters.
+  void span_kind(const char* kind);
+  /// Records a named phase transition on this instance's span.
+  void phase(const std::string& name);
+  /// Marks the virtual time this protocol delivered its output (first call
+  /// wins); the span's latency statistic is done - spawn.
+  void span_done();
+
+ public:
+  /// Context-carrying log line for NAMPC_PLOG (public so lambdas capturing
+  /// `this` inside subclasses can expand the macro).
+  [[nodiscard]] detail::LogLine log_line(LogLevel lvl) {
+    return detail::LogLine(lvl, now(), my_id(), kind_, key_);
+  }
+
+ protected:
+
   /// Runs fn at absolute time t (clamped to now if already past).
   /// Within one tick events run in klass order: 0 = message deliveries,
   /// 1 = primitive-internal timers (SBA rounds), 2 = Π_BC output steps,
@@ -246,6 +302,7 @@ class ProtocolInstance {
  private:
   Party& party_;
   std::string key_;
+  std::string kind_;  ///< primitive kind from span_kind; "" until tagged
   std::vector<std::unique_ptr<ProtocolInstance>> children_;
 };
 

@@ -1,0 +1,134 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/json.h"
+
+namespace nampc::obs {
+
+namespace {
+
+Time nearest_rank(const std::vector<Time>& sorted, double q) {
+  if (sorted.empty()) return -1;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::map<std::string, LatencyStats> latency_by_kind(const Tracer& tracer) {
+  std::map<std::string, std::vector<Time>> latencies;
+  std::map<std::string, LatencyStats> stats;
+  for (const TraceSpan& s : tracer.spans()) {
+    // A span counts under every tag it carried so the per-kind counts
+    // mirror the layered Metrics counters (a Vss span is also a Wss span).
+    std::vector<std::string> kinds = s.kinds;
+    if (kinds.empty()) kinds.push_back("other");
+    for (const std::string& kind : kinds) {
+      LatencyStats& st = stats[kind];
+      st.count++;
+      if (s.done >= 0) {
+        st.done++;
+        latencies[kind].push_back(s.done - s.begin);
+      }
+    }
+  }
+  for (auto& [kind, lats] : latencies) {
+    std::sort(lats.begin(), lats.end());
+    LatencyStats& st = stats[kind];
+    st.p50 = nearest_rank(lats, 0.50);
+    st.p90 = nearest_rank(lats, 0.90);
+    st.max = lats.back();
+  }
+  return stats;
+}
+
+void write_run_report(std::ostream& os, const Simulation& sim,
+                      RunStatus status, const Tracer* tracer) {
+  const Simulation::Config& cfg = sim.config();
+  const Metrics& m = sim.metrics();
+  const Timing& tm = sim.timing();
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "nampc-run-report/1");
+
+  w.key("config").begin_object();
+  w.kv("n", cfg.params.n).kv("ts", cfg.params.ts).kv("ta", cfg.params.ta);
+  w.kv("network",
+       cfg.kind == NetworkKind::synchronous ? "sync" : "async");
+  w.kv("delta", static_cast<std::int64_t>(cfg.delta));
+  w.kv("async_spread", static_cast<std::int64_t>(cfg.async_spread));
+  w.kv("seed", static_cast<std::uint64_t>(cfg.seed));
+  w.kv("max_events", static_cast<std::uint64_t>(cfg.max_events));
+  w.kv("ideal_primitives", cfg.ideal_primitives);
+  w.kv("local_coins", cfg.local_coins);
+  w.end_object();
+
+  w.kv("status", to_string(status));
+  w.kv("virtual_end_time", static_cast<std::int64_t>(sim.now()));
+
+  w.key("metrics").begin_object();
+  w.kv("messages_sent", m.messages_sent).kv("words_sent", m.words_sent);
+  w.kv("events_processed", m.events_processed);
+  w.kv("acast_instances", m.acast_instances);
+  w.kv("bc_instances", m.bc_instances);
+  w.kv("ba_instances", m.ba_instances);
+  w.kv("aba_rounds", m.aba_rounds);
+  w.kv("wss_instances", m.wss_instances);
+  w.kv("wss_restarts", m.wss_restarts);
+  w.kv("vss_instances", m.vss_instances);
+  w.kv("beaver_mults", m.beaver_mults);
+  w.kv("rs_decodes", m.rs_decodes);
+  w.kv("field_mults", m.field_mults);
+  w.key("honest_polys_revealed").begin_object();
+  for (const auto& [dealer, count] : m.honest_polys_revealed) {
+    w.kv("P" + std::to_string(dealer), count);
+  }
+  w.end_object();
+  w.key("named").begin_object();
+  for (const auto& [name, count] : m.named) w.kv(name, count);
+  w.end_object();
+  w.end_object();
+
+  // The paper's derived protocol-time formulas for these (params, delta):
+  // observed latencies below should sit at or under the matching bound in
+  // a synchronous run.
+  w.key("timing_formulas").begin_object();
+  w.kv("delta", static_cast<std::int64_t>(tm.delta));
+  w.kv("t_sba", static_cast<std::int64_t>(tm.t_sba));
+  w.kv("t_bc", static_cast<std::int64_t>(tm.t_bc));
+  w.kv("t_aba", static_cast<std::int64_t>(tm.t_aba));
+  w.kv("t_ba", static_cast<std::int64_t>(tm.t_ba));
+  w.kv("wss_iter", static_cast<std::int64_t>(tm.wss_iter));
+  w.kv("t_wss", static_cast<std::int64_t>(tm.t_wss));
+  w.kv("t_wss_z", static_cast<std::int64_t>(tm.t_wss_z));
+  w.kv("vss_iter", static_cast<std::int64_t>(tm.vss_iter));
+  w.kv("t_vss", static_cast<std::int64_t>(tm.t_vss));
+  w.kv("t_vts", static_cast<std::int64_t>(tm.t_vts));
+  w.kv("t_acs", static_cast<std::int64_t>(tm.t_acs));
+  w.end_object();
+
+  if (tracer != nullptr) {
+    w.key("primitives").begin_object();
+    for (const auto& [kind, st] : latency_by_kind(*tracer)) {
+      w.key(kind).begin_object();
+      w.kv("count", st.count).kv("done", st.done);
+      w.key("latency").begin_object();
+      w.kv("p50", static_cast<std::int64_t>(st.p50));
+      w.kv("p90", static_cast<std::int64_t>(st.p90));
+      w.kv("max", static_cast<std::int64_t>(st.max));
+      w.end_object();
+      w.end_object();
+    }
+    w.end_object();
+    w.kv("trace_spans", static_cast<std::uint64_t>(tracer->spans().size()));
+    w.kv("trace_flows", static_cast<std::uint64_t>(tracer->flows().size()));
+  }
+
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace nampc::obs

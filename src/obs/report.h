@@ -1,0 +1,39 @@
+// Machine-readable run reports.
+//
+// A run report is one JSON object summarising a finished simulation:
+// configuration (params, network, seed, knobs), the RunStatus, every
+// Metrics counter, the paper's derived timing formulas (T_BC, T_BA, T_WSS,
+// T'_WSS, T_VSS, T_VTS, T_ACS) and — when a Tracer was attached — observed
+// per-primitive virtual-time latency percentiles, so measured latencies
+// can be checked against the formulas and tracked as a BENCH_*.json
+// trajectory across PRs. Schema: "nampc-run-report/1" (documented in
+// DESIGN.md §Observability).
+#pragma once
+
+#include <ostream>
+
+#include "net/simulation.h"
+#include "obs/tracer.h"
+
+namespace nampc::obs {
+
+/// Virtual-time latency statistics for one primitive kind, computed over
+/// spans that delivered output (done >= 0); latency = done - begin.
+struct LatencyStats {
+  std::uint64_t count = 0;  ///< spans of this kind (done or not)
+  std::uint64_t done = 0;   ///< spans that delivered output
+  Time p50 = -1;
+  Time p90 = -1;
+  Time max = -1;
+};
+
+/// Nearest-rank percentile latency per kind from a tracer's spans.
+[[nodiscard]] std::map<std::string, LatencyStats> latency_by_kind(
+    const Tracer& tracer);
+
+/// Writes the full run-report JSON. `tracer` may be null (the
+/// "primitives" section is then omitted).
+void write_run_report(std::ostream& os, const Simulation& sim,
+                      RunStatus status, const Tracer* tracer);
+
+}  // namespace nampc::obs

@@ -26,6 +26,9 @@ class Vss : public Wss {
       : Wss(party, std::move(key), dealer, nominal_start,
             make_options(party, num_secrets, z), std::move(on_output)) {
     party.sim().metrics().vss_instances++;
+    // Overrides the base Wss tag; the tracer's kind_counts still mirror
+    // wss_instances/vss_instances (a VSS counts under both, like Metrics).
+    span_kind("vss");
   }
 
  private:

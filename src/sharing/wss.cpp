@@ -47,6 +47,7 @@ Wss::Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
                   "Z must have exactly ts-ta parties");
   }
   metrics().wss_instances++;
+  span_kind("wss");
 
   // Asynchronous-path AOK broadcasts: AOK_j Acast by P_i, for every (i, j).
   aok_.resize(static_cast<std::size_t>(n()));
@@ -94,7 +95,7 @@ Wss::Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
       for (auto& [member, rows] : u_rows) {
         if (published_rows_.count(member) == 0) {
           published_rows_.emplace(member, std::move(rows));
-          revealed_.insert(member);
+          note_revealed(member);
         }
       }
       async_candidate_ = {std::move(a), qa};
@@ -146,6 +147,8 @@ void Wss::begin_iteration(Time start_time) {
   it.continue_g = Graph(n());
   it.pending_sync_g = Graph(n());
   it.r_vectors.resize(static_cast<std::size_t>(n()));
+
+  phase("it" + std::to_string(index));
 
   const std::string pfx = "it" + std::to_string(index) + "/";
   const Time t_bc = timing().t_bc;
@@ -289,13 +292,12 @@ void Wss::dealer_step5(Iteration& it) {
   }
 
   const Graph g = build_report_graph(it, false);
-  NAMPC_LOG(trace) << "[wss " << key() << "] dealer step5 it=" << it.index
-                   << " t=" << now() << " W=" << w_set.str()
-                   << " U=" << dealer_u_.str();
+  NAMPC_PLOG(trace) << "dealer step5 it=" << it.index << " W=" << w_set.str()
+                    << " U=" << dealer_u_.str();
 
   // Already a clique of size n - ta?
   if (const auto big = find_clique_including(g, dealer_u_, n() - ta())) {
-    NAMPC_LOG(trace) << "[wss] dealer step5 SYNC qa=" << big->str();
+    NAMPC_PLOG(trace) << "dealer step5 SYNC qa=" << big->str();
     Writer w;
     w.u64(kTagSync);
     g.encode(w);
@@ -323,8 +325,8 @@ void Wss::dealer_step5(Iteration& it) {
   }
   const int target = n() - ts() + dealer_u_.size();
   auto q = find_clique_including(g, dealer_u_, target, exclude);
-  NAMPC_LOG(trace) << "[wss] dealer step5 continue q="
-                   << (q ? q->str() : std::string("none"));
+  NAMPC_PLOG(trace) << "dealer step5 continue q="
+                    << (q ? q->str() : std::string("none"));
   if (!q.has_value()) return;  // rely on the asynchronous path
   // Trim to exactly `target` (keep U) so enough parties remain outside for V.
   while (q->size() > target) {
@@ -425,7 +427,7 @@ void Wss::dealer_step8(Iteration& it) {
 
 void Wss::dealer_check_async() {
   if (!i_am_dealer() || dealer_row0s_.empty() || dealer_async_sent_) return;
-  NAMPC_LOG(trace) << "[wss " << key() << "] dealer_check_async t=" << now();
+  NAMPC_PLOG(trace) << "dealer_check_async";
   // Build the AOK graph A with the dealer's current U.
   Graph a(n());
   for (int i = 0; i < n(); ++i) {
@@ -463,12 +465,12 @@ void Wss::dealer_check_async() {
     if (best.size() >= n() - ta()) qa = best;
   }
   if (!qa.has_value()) {
-    NAMPC_LOG(trace) << "[wss] dealer async: no clique yet";
+    NAMPC_PLOG(trace) << "dealer async: no clique yet";
     return;
   }
   const PartySet u_in_qa = dealer_u_.intersect(*qa);
   dealer_async_sent_ = true;
-  NAMPC_LOG(trace) << "[wss] dealer async sends qa=" << qa->str();
+  NAMPC_PLOG(trace) << "dealer async sends qa=" << qa->str();
   Writer w;
   a.encode(w);
   w.u64(qa->mask());
@@ -591,7 +593,7 @@ void Wss::on_pub_broadcast(Iteration& it, const std::optional<Words>& payload) {
     it.pub_valid = true;
     for (auto& [member, rows] : pub) {
       published_rows_[member] = std::move(rows);
-      revealed_.insert(member);
+      note_revealed(member);
     }
     u_known_ = u_known_.union_with(u);
     for (int member : u.to_vector()) maybe_send_aok(member);
@@ -633,15 +635,14 @@ void Wss::step_report(Iteration& it) {
       }
     }
   }
-  if (Log::enabled(LogLevel::trace)) {
+  if (Log::enabled_for("wss", LogLevel::trace)) {
     std::string tags;
     for (const REntry& e : rv) {
       tags += e.tag == REntry::Tag::ok ? 'O' : (e.tag == REntry::Tag::nr ? 'N' : 'V');
     }
-    NAMPC_LOG(trace) << "[wss " << key() << "] p" << my_id() << " report it="
-                     << it.index << " t=" << now() << " rows_ok="
-                     << it.rows_by_delta << " pub=" << it.pub_valid
-                     << " tags=" << tags;
+    NAMPC_PLOG(trace) << "report it=" << it.index << " rows_ok="
+                      << it.rows_by_delta << " pub=" << it.pub_valid
+                      << " tags=" << tags;
   }
   // rows/pub missing: the all-NR vector (conditions (a)-(d) of step 3).
   w.u64(rv.size());
@@ -729,9 +730,8 @@ bool Wss::verify_sync_qa(Iteration& it, const Graph& g_payload, PartySet qa,
 }
 
 void Wss::step_handle_dealer5(Iteration& it) {
-  NAMPC_LOG(trace) << "[wss " << key() << "] p" << my_id()
-                   << " handle_d5 it=" << it.index << " t=" << now()
-                   << " out=" << it.dealer_step5->current_output().has_value();
+  NAMPC_PLOG(trace) << "handle_d5 it=" << it.index << " out="
+                    << it.dealer_step5->current_output().has_value();
   if (accepted_ || discarded_) return;
   // Parse all report vectors as visible now (regular outputs by 2T_BC).
   for (int j = 0; j < n(); ++j) {
@@ -779,7 +779,7 @@ void Wss::step_handle_dealer5(Iteration& it) {
     }
   }
   if (!it.ba1_done) {
-    NAMPC_LOG(trace) << "[wss] p" << my_id() << " ba1 input=" << b;
+    NAMPC_PLOG(trace) << "ba1 input=" << b;
     // First (timed) pass: join Π_BA with the verification verdict.
     it.ba1->start(b);
     return;
@@ -878,14 +878,25 @@ void Wss::start_conflict_broadcasts(Iteration& it) {
           }
           encode_values(w, vals);
           bc->start(std::move(w).take());
-          if (it.continue_v->contains(my_id())) revealed_.insert(my_id());
+          if (it.continue_v->contains(my_id())) note_revealed(my_id());
         }
       }
     }
   }
   // The conflict phase reveals the rows of V members (points against every
   // unresolved partner) — record for the privacy audit.
-  revealed_ = revealed_.union_with(*it.continue_v);
+  for (int member : it.continue_v->to_vector()) note_revealed(member);
+}
+
+void Wss::note_revealed(int member) {
+  if (revealed_.contains(member)) return;
+  revealed_.insert(member);
+  // Count each logical reveal once globally: only the revealed party's own
+  // instance copy records it (instance keys are identical across parties),
+  // and only when that party is honest — corrupt rows are free information.
+  if (member == my_id() && !party().corrupt()) {
+    metrics().note_honest_reveal(key(), dealer_);
+  }
 }
 
 void Wss::step_handle_dealer8(Iteration& it) {
@@ -956,8 +967,7 @@ void Wss::on_ba2(Iteration& it, bool v) {
 // ----------------------------------------------------- asynchronous path --
 
 void Wss::maybe_send_aok(int j) {
-  NAMPC_LOG(trace) << "[wss] p" << my_id() << " maybe_aok j=" << j
-                   << " have_rows=" << have_rows_;
+  NAMPC_PLOG(trace) << "maybe_aok j=" << j << " have_rows=" << have_rows_;
   if (!have_rows_ || j == my_id() || aok_sent_.contains(j)) return;
   FpVec mine;
   for (int k = 0; k < num_secrets(); ++k) {
@@ -992,9 +1002,7 @@ void Wss::on_aok(int i, int j) {
 }
 
 void Wss::try_accept_async() {
-  NAMPC_LOG(trace) << "[wss " << key() << "] p" << my_id()
-                   << " try_accept_async t=" << now()
-                   << " accepted=" << accepted_
+  NAMPC_PLOG(trace) << "try_accept_async accepted=" << accepted_
                    << " cand=" << async_candidate_.has_value();
   if (accepted_ || discarded_ || !async_candidate_.has_value()) return;
   const Time gate =
@@ -1002,10 +1010,10 @@ void Wss::try_accept_async() {
   if (now() < gate) return;  // the gate timer will retry
   const PartySet qa = async_candidate_->second;
   const PartySet u = async_u_;
-  NAMPC_LOG(trace) << "[wss] p" << my_id() << " async qa=" << qa.str()
-                   << " u=" << u.str() << " gate passed";
+  NAMPC_PLOG(trace) << "async qa=" << qa.str() << " u=" << u.str()
+                    << " gate passed";
   if (qa.size() < n() - ta() || !u.subset_of(qa)) {
-    NAMPC_LOG(trace) << "[wss] p" << my_id() << " qa size/u check failed";
+    NAMPC_PLOG(trace) << "qa size/u check failed";
     return;
   }
   if (z_conditioned() ? !u.subset_of(*options_.z)
@@ -1036,10 +1044,10 @@ void Wss::try_accept_async() {
     }
   }
   if (!ai.is_clique(qa)) {
-    NAMPC_LOG(trace) << "[wss] p" << my_id() << " qa not clique in A_i yet";
+    NAMPC_PLOG(trace) << "qa not clique in A_i yet";
     return;  // keep updating A_i as AOKs arrive
   }
-  NAMPC_LOG(trace) << "[wss] p" << my_id() << " ACCEPT async qa=" << qa.str();
+  NAMPC_PLOG(trace) << "ACCEPT async qa=" << qa.str();
   accept_qa(qa, u, -1, false);
 }
 
@@ -1047,9 +1055,9 @@ void Wss::try_accept_async() {
 
 void Wss::accept_qa(PartySet qa, PartySet u, int iteration_index,
                     bool via_sync) {
-  NAMPC_LOG(trace) << "[wss " << key() << "] p" << my_id() << " ACCEPT qa="
-                   << qa.str() << " sync=" << via_sync << " t=" << now();
+  NAMPC_PLOG(trace) << "ACCEPT qa=" << qa.str() << " sync=" << via_sync;
   if (accepted_ || discarded_) return;
+  phase(via_sync ? "accept_sync" : "accept_async");
   accepted_ = true;
   accepted_qa_ = qa;
   accepted_u_ = u;
@@ -1251,6 +1259,8 @@ void Wss::decide_output(WssOutcome outcome, std::vector<Polynomial> rows) {
   outcome_ = outcome;
   output_rows_ = std::move(rows);
   output_time_ = now();
+  phase(outcome == WssOutcome::rows ? "output_rows" : "output_bot");
+  span_done();
   if (on_output_) on_output_();
 }
 

@@ -183,6 +183,11 @@ class Wss : public ProtocolInstance {
   void try_reconstruct();
   void decide_output(WssOutcome outcome, std::vector<Polynomial> rows);
 
+  /// Records that `member`'s row polynomials became public, feeding both the
+  /// revealed_parties() query and the Metrics privacy audit (counted once
+  /// globally, by the revealed party's own honest instance copy).
+  void note_revealed(int member);
+
   // Dealer state.
   PartyId dealer_;
   Time nominal_start_;

@@ -8,6 +8,7 @@ Beaver::Beaver(Party& party, std::string key, int width, OutputFn on_output)
       on_output_(std::move(on_output)) {
   NAMPC_REQUIRE(width >= 1, "width must be positive");
   metrics().beaver_mults += static_cast<std::uint64_t>(width);
+  span_kind("beaver");
   open_ = &make_child<PubRec>("open", 2 * width,
                               [this](const FpVec& de) { on_opened(de); });
 }
@@ -53,6 +54,7 @@ void Beaver::on_opened(const FpVec& de) {
         e * triples_.a[static_cast<std::size_t>(l)] +
         triples_.c[static_cast<std::size_t>(l)];
   }
+  span_done();
   if (on_output_) on_output_(z_);
 }
 

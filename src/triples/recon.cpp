@@ -51,6 +51,7 @@ PrivRec::PrivRec(Party& party, std::string key, PartyId target, int width,
       on_output_(std::move(on_output)),
       engine_(n(), params().ts, width) {
   NAMPC_REQUIRE(width >= 1, "width must be positive");
+  span_kind("priv_rec");
 }
 
 void PrivRec::start(const FpVec& my_shares) {
@@ -69,8 +70,9 @@ void PrivRec::on_message(const Message& msg) {
   for (int k = 0; k < width_ && r.remaining() > 0; ++k) {
     shares.emplace_back(r.u64());
   }
-  if (engine_.add(msg.from, shares) && on_output_) {
-    on_output_(engine_.values());
+  if (engine_.add(msg.from, shares)) {
+    span_done();
+    if (on_output_) on_output_(engine_.values());
   }
 }
 
@@ -80,6 +82,7 @@ PubRec::PubRec(Party& party, std::string key, int width, OutputFn on_output)
       on_output_(std::move(on_output)),
       engine_(n(), params().ts, width) {
   NAMPC_REQUIRE(width >= 1, "width must be positive");
+  span_kind("pub_rec");
 }
 
 void PubRec::start(const FpVec& my_shares) {
@@ -98,8 +101,9 @@ void PubRec::on_message(const Message& msg) {
   for (int k = 0; k < width_ && r.remaining() > 0; ++k) {
     shares.emplace_back(r.u64());
   }
-  if (engine_.add(msg.from, shares) && on_output_) {
-    on_output_(engine_.values());
+  if (engine_.add(msg.from, shares)) {
+    span_done();
+    if (on_output_) on_output_(engine_.values());
   }
 }
 

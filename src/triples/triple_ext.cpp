@@ -30,6 +30,7 @@ TripleExt::TripleExt(Party& party, std::string key, int num_dealers,
   NAMPC_REQUIRE(h_ + 1 - params().ts >= 1,
                 "too few dealers to extract anything (need (m+1)/2 > ts)");
   NAMPC_REQUIRE(width >= 1, "width must be positive");
+  span_kind("triple_ext");
   beaver_ = &make_child<Beaver>("beaver", h_ * width_,
                                 [this](const FpVec& z) { on_beaver(z); });
 }
@@ -97,6 +98,7 @@ void TripleExt::on_beaver(const FpVec& z) {
       output_.c.push_back(extrapolate(zc, beta));
     }
   }
+  span_done();
   if (on_output_) on_output_(output_);
 }
 

@@ -14,6 +14,7 @@ Vts::Vts(Party& party, std::string key, PartyId dealer, Time nominal_start,
       on_output_(std::move(on_output)) {
   NAMPC_REQUIRE(num_triples >= 1, "need at least one triple");
   NAMPC_REQUIRE(ts() >= 1, "vts requires ts >= 1");
+  span_kind("vts");
   const int num_secrets = 3 * num_triples_ * (2 * ts() + 1);
   vss_ = &make_child<Vss>("vss", dealer_, nominal_start_, num_secrets, z_,
                           [this] { on_vss_output(); });
@@ -341,6 +342,8 @@ void Vts::try_finish() {
   }
   outcome_ = VtsOutcome::triples;
   output_time_ = now();
+  phase("triples");
+  span_done();
   if (on_output_) on_output_();
 }
 
@@ -348,6 +351,8 @@ void Vts::discard() {
   if (outcome_ != VtsOutcome::none) return;
   outcome_ = VtsOutcome::discarded;
   output_time_ = now();
+  phase("discarded");
+  span_done();
   if (on_output_) on_output_();
 }
 

@@ -6,9 +6,12 @@
 // library is a research artifact whose value is the fidelity of its checks.
 #pragma once
 
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "util/log.h"
 
 namespace nampc {
 
@@ -25,6 +28,12 @@ namespace detail {
   std::ostringstream os;
   os << kind << " failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
+  // Surface the recent-event tail before unwinding: an invariant failure
+  // deep inside a protocol run is near-impossible to reconstruct otherwise.
+  if (!Log::ring().empty()) {
+    std::cerr << "invariant failure: " << os.str() << '\n';
+    Log::dump_ring(std::cerr);
+  }
   throw InvariantError(os.str());
 }
 }  // namespace detail

@@ -1,0 +1,119 @@
+// Minimal JSON emission for observability output (traces, run reports,
+// JSON-lines logs). Write-only by design: the library never parses JSON,
+// it only produces it for external tools (Perfetto, jq, plotting scripts).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nampc {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+inline void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Streaming JSON writer with explicit begin/end calls. Handles commas and
+/// string escaping; does not validate structure beyond a nesting stack.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Starts a `"name": ...` member; follow with a value or begin_* call.
+  JsonWriter& key(std::string_view name) {
+    comma();
+    os_ << '"';
+    json_escape(os_, name);
+    os_ << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    os_ << '"';
+    json_escape(os_, v);
+    os_ << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    os_ << c;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    os_ << c;
+    if (!first_.empty()) first_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value directly after key(): no comma
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace nampc

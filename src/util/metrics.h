@@ -27,9 +27,25 @@ struct Metrics {
   std::uint64_t rs_decodes = 0;
   std::uint64_t field_mults = 0;         ///< sampled only where instrumented
 
-  /// Privacy audit: per (dealer id) count of honest univariate polynomials
-  /// made public during sharing protocols. Proofs require each <= ts.
+  /// Privacy audit: per (dealer id), the maximum number of honest univariate
+  /// polynomials made public in any single sharing instance dealt by that
+  /// party. Proofs require each <= ts; the simulator asserts this at
+  /// quiescence (Simulation::Config::privacy_audit).
   std::map<int, std::uint64_t> honest_polys_revealed;
+
+  /// Per sharing-instance key, the number of honest rows made public there.
+  /// Instance keys are identical across parties, so each logical reveal is
+  /// recorded exactly once (by the revealed party's own instance).
+  std::map<std::string, std::uint64_t> honest_polys_by_instance;
+
+  /// Records that the honest party owning the instance copy had its row
+  /// polynomial made public in sharing instance `instance_key` dealt by
+  /// `dealer`. Maintains the per-dealer maximum for the privacy audit.
+  void note_honest_reveal(const std::string& instance_key, int dealer) {
+    const std::uint64_t count = ++honest_polys_by_instance[instance_key];
+    std::uint64_t& worst = honest_polys_revealed[dealer];
+    if (count > worst) worst = count;
+  }
 
   /// Free-form named counters for protocol-specific accounting.
   std::map<std::string, std::uint64_t> named;
