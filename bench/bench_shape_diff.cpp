@@ -1,0 +1,335 @@
+// bench_shape_diff — CI gate for the committed BENCH_*.json trajectory.
+//
+// Compares two "nampc-bench/1" files by SHAPE, not by cell values: schema
+// string, report name, note keys, section count, per-section titles, table
+// headers and row counts must match; the cells themselves (which would
+// carry timings if a regenerator ever grew wall-clock columns) are ignored.
+// The bench-smoke CI job regenerates every table and runs this against the
+// committed copy — a schema/shape drift fails the build, a timing change
+// does not.
+//
+// Usage: bench_shape_diff COMMITTED.json REGENERATED.json
+// Exit 0: same shape. Exit 1: drift (differences on stdout). Exit 2: bad
+// invocation or unparseable input.
+//
+// The parser below handles exactly the JSON subset JsonWriter emits
+// (objects, arrays, strings, numbers, booleans, null; \uXXXX escapes kept
+// verbatim) and is self-contained so the tool has no library dependencies.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { object, array, string, literal } kind = Kind::literal;
+  std::string text;  // string contents or literal token
+  std::vector<std::pair<std::string, JsonValue>> members;  // object, in order
+  std::vector<JsonValue> items;                            // array
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    pos_ = 0;
+    if (!value(out)) {
+      error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing data at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& why) {
+    error_ = why;
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::string;
+      return string(out.text);
+    }
+    // Number / true / false / null: consume the bare token.
+    out.kind = JsonValue::Kind::literal;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    out.text = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // Shape comparison does not need codepoint decoding: keep the
+            // escape verbatim so equal inputs stay equal.
+            out += "\\u";
+            for (int i = 0; i < 4 && pos_ < text_.size(); ++i) {
+              out += text_[pos_++];
+            }
+            break;
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// The shape of one report: everything bench-smoke locks down.
+struct Shape {
+  std::string schema;
+  std::string name;
+  std::vector<std::string> note_keys;
+  struct Section {
+    std::string title;
+    std::vector<std::string> headers;
+    std::size_t row_count = 0;
+  };
+  std::vector<Section> sections;
+};
+
+bool extract(const JsonValue& root, Shape& shape, std::string& error) {
+  if (root.kind != JsonValue::Kind::object) {
+    error = "top-level value is not an object";
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  const JsonValue* name = root.find("name");
+  if (!schema || !name) {
+    error = "missing schema/name";
+    return false;
+  }
+  shape.schema = schema->text;
+  shape.name = name->text;
+  if (const JsonValue* notes = root.find("notes")) {
+    for (const auto& [k, v] : notes->members) {
+      (void)v;
+      shape.note_keys.push_back(k);
+    }
+  }
+  const JsonValue* sections = root.find("sections");
+  if (!sections || sections->kind != JsonValue::Kind::array) {
+    error = "missing sections array";
+    return false;
+  }
+  for (const JsonValue& s : sections->items) {
+    Shape::Section sec;
+    const JsonValue* title = s.find("title");
+    const JsonValue* table = s.find("table");
+    if (!title || !table) {
+      error = "section missing title/table";
+      return false;
+    }
+    sec.title = title->text;
+    const JsonValue* headers = table->find("headers");
+    const JsonValue* rows = table->find("rows");
+    if (!headers || !rows) {
+      error = "table missing headers/rows";
+      return false;
+    }
+    for (const JsonValue& h : headers->items) sec.headers.push_back(h.text);
+    sec.row_count = rows->items.size();
+    shape.sections.push_back(std::move(sec));
+  }
+  return true;
+}
+
+bool load_shape(const std::string& path, Shape& shape) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_shape_diff: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue root;
+  std::string error;
+  Parser parser(buf.str());
+  if (!parser.parse(root, error)) {
+    std::cerr << "bench_shape_diff: " << path << ": parse error: " << error
+              << "\n";
+    return false;
+  }
+  if (!extract(root, shape, error)) {
+    std::cerr << "bench_shape_diff: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += " | ";
+    out += v[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: bench_shape_diff COMMITTED.json REGENERATED.json\n";
+    return 2;
+  }
+  Shape a, b;
+  if (!load_shape(argv[1], a) || !load_shape(argv[2], b)) return 2;
+
+  int drifts = 0;
+  auto drift = [&drifts](const std::string& what, const std::string& committed,
+                         const std::string& regenerated) {
+    ++drifts;
+    std::cout << "DRIFT " << what << "\n  committed:   " << committed
+              << "\n  regenerated: " << regenerated << "\n";
+  };
+
+  if (a.schema != b.schema) drift("schema", a.schema, b.schema);
+  if (a.name != b.name) drift("name", a.name, b.name);
+  if (a.note_keys != b.note_keys) {
+    drift("note keys", join(a.note_keys), join(b.note_keys));
+  }
+  if (a.sections.size() != b.sections.size()) {
+    drift("section count", std::to_string(a.sections.size()),
+          std::to_string(b.sections.size()));
+  }
+  const std::size_t n = std::min(a.sections.size(), b.sections.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sa = a.sections[i];
+    const auto& sb = b.sections[i];
+    const std::string where = "section " + std::to_string(i);
+    if (sa.title != sb.title) drift(where + " title", sa.title, sb.title);
+    if (sa.headers != sb.headers) {
+      drift(where + " headers", join(sa.headers), join(sb.headers));
+    }
+    if (sa.row_count != sb.row_count) {
+      drift(where + " row count", std::to_string(sa.row_count),
+            std::to_string(sb.row_count));
+    }
+  }
+  if (drifts == 0) {
+    std::cout << "shape ok: " << a.name << " (" << a.sections.size()
+              << " sections)\n";
+    return 0;
+  }
+  std::cout << drifts << " shape drift(s) in " << a.name << "\n";
+  return 1;
+}

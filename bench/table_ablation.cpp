@@ -7,11 +7,18 @@
 //       test_crosscheck), wildly different message bills.
 //  A3 — Δ-scaling: all T_* formulas are linear in Δ; virtual completion
 //       times must scale accordingly while message counts stay fixed.
+//  A4 — ABA coin source: ideal common coin vs Ben-Or local coins over 40
+//       seeds per mode.
+//
+// Every cell is an independent simulation; the WSS cells (A1–A3) and the
+// 80 per-seed ABA runs (A4) fan out through the sweep engine
+// (--jobs / NAMPC_JOBS), with aggregation and rendering on the main thread.
 #include <iostream>
 
 #include "bench_util.h"
 #include "broadcast/ba.h"
 #include "sharing/wss.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -61,11 +68,74 @@ Stats run_wss(ProtocolParams p, int num_secrets, int instances, bool ideal,
   return s;
 }
 
+/// One A4 seed: an async Π_BA run with mixed inputs under the chosen coin
+/// source. Aggregated per mode on the main thread.
+struct CoinRun {
+  bool quiescent = false;
+  bool all_agree = false;
+  std::uint64_t rounds = 0;  ///< per-party average for this run
+};
+
+CoinRun run_coin(bool local, std::uint64_t seed) {
+  Simulation::Config cfg;
+  cfg.params = {7, 2, 1};
+  cfg.kind = NetworkKind::asynchronous;
+  cfg.seed = seed;
+  cfg.local_coins = local;
+  Simulation sim(cfg, std::make_shared<Adversary>());
+  std::vector<Ba*> inst;
+  for (int i = 0; i < 7; ++i) {
+    inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
+  }
+  for (int i = 0; i < 7; ++i) {
+    inst[static_cast<std::size_t>(i)]->start(i % 2 == 0);
+  }
+  CoinRun r;
+  if (sim.run() != RunStatus::quiescent) return r;
+  r.quiescent = true;
+  bool all = true;
+  std::optional<bool> v;
+  for (Ba* b : inst) {
+    if (!b->has_output()) {
+      all = false;
+      continue;
+    }
+    if (!v.has_value()) v = b->output();
+    if (*v != b->output()) all = false;
+  }
+  r.all_agree = all;
+  r.rounds = sim.metrics().aba_rounds / 7;  // per-party average
+  return r;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   bench::BenchReport report("ablation");
   const ProtocolParams p{7, 2, 1};
+  const std::vector<int> ls = {1, 2, 4, 8, 16};
+  const std::vector<ProtocolParams> a2_params = {
+      ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
+      ProtocolParams{10, 3, 1}};
+  const std::vector<Time> deltas = {5, 10, 20, 40};
+
+  // A1 (batched + separate per L), A2 (full + ideal per params) and A3
+  // (per Δ) are all run_wss cells — one sweep covers them.
+  Sweep<Stats> wss_sweep(jobs);
+  for (int l : ls) {
+    wss_sweep.add([p, l] { return run_wss(p, l, 1, false, 10); });
+    wss_sweep.add([p, l] { return run_wss(p, 1, l, false, 10); });
+  }
+  for (ProtocolParams q : a2_params) {
+    wss_sweep.add([q] { return run_wss(q, 1, 1, false, 10); });
+    wss_sweep.add([q] { return run_wss(q, 1, 1, true, 10); });
+  }
+  for (Time d : deltas) {
+    wss_sweep.add([p, d] { return run_wss(p, 1, 1, false, d); });
+  }
+  const std::vector<Stats> wss = wss_sweep.run();
+  std::size_t idx = 0;
 
   const std::string t1 =
       "A1 — batching: L secrets in one Π_WSS vs L instances "
@@ -73,9 +143,9 @@ int main() {
   bench::banner(t1);
   bench::Table a1({"L", "batched msgs", "batched words", "separate msgs",
                    "separate words", "msg amplification"});
-  for (int l : {1, 2, 4, 8, 16}) {
-    const Stats batched = run_wss(p, l, 1, false, 10);
-    const Stats separate = run_wss(p, 1, l, false, 10);
+  for (int l : ls) {
+    const Stats batched = wss[idx++];
+    const Stats separate = wss[idx++];
     a1.row(l, batched.messages, batched.words, separate.messages,
            separate.words,
            static_cast<double>(separate.messages) /
@@ -91,10 +161,9 @@ int main() {
   bench::banner(t2);
   bench::Table a2({"n", "ts", "ta", "full msgs", "ideal msgs", "ratio",
                    "full latest t", "ideal latest t"});
-  for (ProtocolParams q : {ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
-                           ProtocolParams{10, 3, 1}}) {
-    const Stats full = run_wss(q, 1, 1, false, 10);
-    const Stats ideal = run_wss(q, 1, 1, true, 10);
+  for (ProtocolParams q : a2_params) {
+    const Stats full = wss[idx++];
+    const Stats ideal = wss[idx++];
     a2.row(q.n, q.ts, q.ta, full.messages, ideal.messages,
            static_cast<double>(full.messages) /
                static_cast<double>(ideal.messages),
@@ -108,8 +177,8 @@ int main() {
       "(one Π_WSS, n=7)";
   bench::banner(t3);
   bench::Table a3({"delta", "latest t", "t / delta", "messages"});
-  for (Time d : {5, 10, 20, 40}) {
-    const Stats s = run_wss(p, 1, 1, false, d);
+  for (Time d : deltas) {
+    const Stats s = wss[idx++];
     a3.row(d, s.latest, static_cast<double>(s.latest) / static_cast<double>(d),
            s.messages);
   }
@@ -125,43 +194,31 @@ int main() {
   bench::banner(t4);
   bench::Table a4({"coin", "runs", "all terminated", "agreement", "avg rounds",
                    "max rounds"});
+  const int runs = 40;
+  Sweep<CoinRun> coin_sweep(jobs);
+  for (bool local : {false, true}) {
+    for (int s = 0; s < runs; ++s) {
+      coin_sweep.add([local, s] {
+        return run_coin(local, 4000 + static_cast<std::uint64_t>(s));
+      });
+    }
+  }
+  const std::vector<CoinRun> coin_runs = coin_sweep.run();
+  std::size_t cidx = 0;
   for (bool local : {false, true}) {
     int terminated = 0;
     int agreed = 0;
     std::uint64_t total_rounds = 0;
     std::uint64_t max_rounds = 0;
-    const int runs = 40;
     for (int s = 0; s < runs; ++s) {
-      Simulation::Config cfg;
-      cfg.params = {7, 2, 1};
-      cfg.kind = NetworkKind::asynchronous;
-      cfg.seed = 4000 + static_cast<std::uint64_t>(s);
-      cfg.local_coins = local;
-      Simulation sim(cfg, std::make_shared<Adversary>());
-      std::vector<Ba*> inst;
-      for (int i = 0; i < 7; ++i) {
-        inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
-      }
-      for (int i = 0; i < 7; ++i) {
-        inst[static_cast<std::size_t>(i)]->start(i % 2 == 0);
-      }
-      if (sim.run() != RunStatus::quiescent) continue;
-      bool all = true;
-      std::optional<bool> v;
-      for (Ba* b : inst) {
-        if (!b->has_output()) {
-          all = false;
-          continue;
-        }
-        if (!v.has_value()) v = b->output();
-        if (*v != b->output()) all = false;
-      }
-      if (all) {
+      const CoinRun r = coin_runs[cidx++];
+      if (!r.quiescent) continue;
+      if (r.all_agree) {
         ++terminated;
         ++agreed;
       }
-      total_rounds += sim.metrics().aba_rounds / 7;  // per-party average
-      max_rounds = std::max(max_rounds, sim.metrics().aba_rounds / 7);
+      total_rounds += r.rounds;
+      max_rounds = std::max(max_rounds, r.rounds);
     }
     a4.row(local ? "local (Ben-Or)" : "ideal common", runs,
            terminated == runs ? "yes" : std::to_string(terminated),

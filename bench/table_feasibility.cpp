@@ -8,10 +8,15 @@
 //  * the regime trichotomy (pure-async 4ta+1, mixed 2ts+2ta+1, sync 3ts+1);
 //  * for a fixed n, the maximal tolerable ts per ta (the resilience
 //    frontier a deployment actually reads off).
+//
+// The per-ts boundary-exactness checks are independent, so they run through
+// the sweep engine (--jobs / NAMPC_JOBS); rendering stays on the main
+// thread in ts order.
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/bounds.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -26,9 +31,35 @@ const char* regime_name(ResiliencyRegime r) {
   return "?";
 }
 
+/// Boundary exactness for every ta at one ts: minimal n is feasible and
+/// n-1 is not. One sweep job per ts.
+struct BoundaryRow {
+  int ts = 0;
+  int ta = 0;
+  int n = 0;
+  bool feasible_n = false;
+  bool feasible_n_minus_1 = false;
+  [[nodiscard]] bool exact() const { return feasible_n && !feasible_n_minus_1; }
+};
+
+std::vector<BoundaryRow> boundary_rows(int ts) {
+  std::vector<BoundaryRow> rows;
+  for (int ta = 0; ta <= ts; ++ta) {
+    BoundaryRow r;
+    r.ts = ts;
+    r.ta = ta;
+    r.n = min_parties(ts, ta);
+    r.feasible_n = feasible(r.n, ts, ta);
+    r.feasible_n_minus_1 = feasible(r.n - 1, ts, ta);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E2/E9: feasibility frontier of Theorem 1.1 vs prior work.\n";
   bench::BenchReport report("feasibility");
 
@@ -63,16 +94,17 @@ int main() {
   const std::string t3 =
       "Boundary exactness check (n = min is feasible, n-1 is not)";
   bench::banner(t3);
+  const std::vector<std::vector<BoundaryRow>> checked = sweep_run(
+      jobs, 10, [](std::size_t i) { return boundary_rows(static_cast<int>(i) + 1); });
   bench::Table b({"ts", "ta", "n = min", "feasible(n)", "feasible(n-1)"});
   bool all_exact = true;
-  for (int ts = 1; ts <= 10; ++ts) {
-    for (int ta = 0; ta <= ts; ++ta) {
-      const int n = min_parties(ts, ta);
-      const bool ok = feasible(n, ts, ta) && !feasible(n - 1, ts, ta);
-      all_exact = all_exact && ok;
-      if (ta == 0 || ta == ts || 2 * ta == ts || 2 * ta == ts + 1) {
-        b.row(ts, ta, n, feasible(n, ts, ta) ? "yes" : "NO",
-              feasible(n - 1, ts, ta) ? "YES(!)" : "no");
+  for (const auto& rows : checked) {
+    for (const BoundaryRow& r : rows) {
+      all_exact = all_exact && r.exact();
+      if (r.ta == 0 || r.ta == r.ts || 2 * r.ta == r.ts ||
+          2 * r.ta == r.ts + 1) {
+        b.row(r.ts, r.ta, r.n, r.feasible_n ? "yes" : "NO",
+              r.feasible_n_minus_1 ? "YES(!)" : "no");
       }
     }
   }

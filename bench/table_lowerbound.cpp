@@ -5,12 +5,14 @@
 // "indefinitely" — forces the two output parties of
 // f(x1,x2,⊥,⊥) = (x1∧x2, x1∧x2, ⊥, ⊥) into disagreement, for EVERY
 // tie-breaking rule a terminating protocol could adopt. The table prints
-// one witness per rule.
+// one witness per rule; the four per-rule searches are independent and run
+// through the sweep engine (--jobs / NAMPC_JOBS).
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/bounds.h"
 #include "lowerbound/lowerbound.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -26,12 +28,22 @@ const char* rule_name(TieBreak r) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E3: Theorem 5.1 partition attack at n = 2ts + 2ta = 4 "
                "(ts = ta = 1).\n";
   std::cout << "feasible(4,1,1) = " << (feasible(4, 1, 1) ? "yes" : "no")
             << "  (the boundary case; feasible(5,1,1) = "
             << (feasible(5, 1, 1) ? "yes" : "no") << ")\n";
+
+  // One witness search per tie-break rule, in declaration order (the same
+  // order find_violations() uses serially).
+  Sweep<AttackOutcome> sweep(jobs);
+  for (TieBreak rule : {TieBreak::trust_p3, TieBreak::trust_p4,
+                        TieBreak::assume_zero, TieBreak::assume_one}) {
+    sweep.add([rule] { return find_violation(rule); });
+  }
+  const std::vector<AttackOutcome> witnesses = sweep.run();
 
   bench::BenchReport report("lowerbound");
   const std::string t1 = "One violation witness per candidate tie-break rule";
@@ -39,7 +51,7 @@ int main() {
   bench::Table t({"tie-break rule", "x1", "x2", "corrupt relay",
                   "fabricated x1", "P1 output", "P2 output", "verdict"});
   bool all_broken = true;
-  for (const AttackOutcome& w : find_violations()) {
+  for (const AttackOutcome& w : witnesses) {
     const bool broken = !w.correct();
     all_broken = all_broken && broken;
     t.row(rule_name(w.rule), w.x1 ? 1 : 0, w.x2 ? 1 : 0,

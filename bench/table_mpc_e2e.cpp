@@ -1,11 +1,15 @@
 // Experiment E8 — end-to-end MPC (Section 10): latency and message
 // complexity across parameter points, networks, circuit sizes and
 // adversaries; correctness checked against plaintext evaluation.
+// This is by far the heaviest regenerator (the n=7 cells dominate), and
+// its 22 grid cells are independent simulations — they fan out through the
+// sweep engine (--jobs / NAMPC_JOBS) and render in submission order.
 #include <iostream>
 
 #include "adversary/scripted.h"
 #include "bench_util.h"
 #include "mpc/mpc.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -82,7 +86,8 @@ Result run(ProtocolParams p, NetworkKind kind, int mults,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E8: end-to-end MPC (Section 10). Correctness vs plaintext "
                "evaluation; virtual latency; message/word complexity.\n"
             << "(k = C(n, ts-ta) candidate Z-subsets all run in parallel — "
@@ -94,29 +99,59 @@ int main() {
     bool ideal;
     const char* note;
   };
-  for (const Cfg& c : {Cfg{{4, 1, 0}, false, "k=4, full primitives"},
-                       Cfg{{5, 1, 1}, false, "k=1, full primitives"},
-                       Cfg{{7, 2, 1}, true, "k=7, ideal BA/SBA"}}) {
+  const std::vector<Cfg> cfgs = {Cfg{{4, 1, 0}, false, "k=4, full primitives"},
+                                 Cfg{{5, 1, 1}, false, "k=1, full primitives"},
+                                 Cfg{{7, 2, 1}, true, "k=7, ideal BA/SBA"}};
+  const std::vector<NetworkKind> kinds = {NetworkKind::synchronous,
+                                          NetworkKind::asynchronous};
+
+  // One cell per (cfg, network, mults, adversary), minus the bounded-out
+  // heaviest configuration — the same skip the serial loop applied.
+  struct Cell {
+    int mults;
+    const char* attack;
+  };
+  auto cells_for = [](const Cfg& c) {
+    std::vector<Cell> cells;
+    for (int mults : {1, 8}) {
+      for (const char* attack : {"none", "crash"}) {
+        // Keep the heaviest configuration bounded.
+        if (c.p.n == 7 && mults == 8 && std::string(attack) == "crash") {
+          continue;
+        }
+        cells.push_back({mults, attack});
+      }
+    }
+    return cells;
+  };
+
+  Sweep<Result> sweep(jobs);
+  for (const Cfg& c : cfgs) {
+    for (NetworkKind kind : kinds) {
+      for (const Cell& cell : cells_for(c)) {
+        sweep.add([c, kind, cell] {
+          return run(c.p, kind, cell.mults, cell.attack, c.ideal, 55);
+        });
+      }
+    }
+  }
+  const std::vector<Result> results = sweep.run();
+
+  std::size_t idx = 0;
+  for (const Cfg& c : cfgs) {
     const std::string title =
         "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
         " ta=" + std::to_string(c.p.ta) + "  (" + c.note + ")";
     bench::banner(title);
     bench::Table t({"network", "mults", "adversary", "correct", "latest t",
                     "messages", "payload words", "events"});
-    for (NetworkKind kind :
-         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    for (NetworkKind kind : kinds) {
       const bool sync = kind == NetworkKind::synchronous;
-      for (int mults : {1, 8}) {
-        for (const char* attack : {"none", "crash"}) {
-          // Keep the heaviest configuration bounded.
-          if (c.p.n == 7 && mults == 8 && std::string(attack) == "crash") {
-            continue;
-          }
-          const Result r = run(c.p, kind, mults, attack, c.ideal, 55);
-          t.row(sync ? "sync" : "async", mults, attack,
-                r.correct ? "yes" : "NO", r.latest, r.messages, r.words,
-                r.events);
-        }
+      for (const Cell& cell : cells_for(c)) {
+        const Result r = results[idx++];
+        t.row(sync ? "sync" : "async", cell.mults, cell.attack,
+              r.correct ? "yes" : "NO", r.latest, r.messages, r.words,
+              r.events);
       }
     }
     t.print();

@@ -1,6 +1,9 @@
 // Experiment E7 — property/latency matrix of the imported primitives
 // (Lemmas 4.4, 4.6, 4.8 and Theorem 4.10): Acast, Π_BC, Π_BA, Π_ACS in
 // both networks, Full mode, measured against the T_* formulas.
+// The 30 grid cells (parameter point x network x primitive) are
+// independent simulations, fanned out through the sweep engine
+// (--jobs / NAMPC_JOBS) and rendered in submission order.
 #include <iostream>
 
 #include "acs/acs.h"
@@ -8,6 +11,7 @@
 #include "broadcast/ba.h"
 #include "broadcast/bc.h"
 #include "net/simulation.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -118,12 +122,32 @@ Row run_acs(ProtocolParams p, NetworkKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E7: primitive matrix (Full mode, honest runs), latency vs "
                "the T_* formulas.\n";
   bench::BenchReport report("primitives");
-  for (ProtocolParams p : {ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
-                           ProtocolParams{10, 3, 1}}) {
+  const std::vector<ProtocolParams> params = {
+      ProtocolParams{4, 1, 0}, ProtocolParams{7, 2, 1},
+      ProtocolParams{10, 3, 1}};
+  const std::vector<NetworkKind> kinds = {NetworkKind::synchronous,
+                                          NetworkKind::asynchronous};
+
+  // Five primitive runs per (params, network) cell, in table order.
+  Sweep<Row> sweep(jobs);
+  for (ProtocolParams p : params) {
+    for (NetworkKind kind : kinds) {
+      sweep.add([p, kind] { return run_acast(p, kind); });
+      sweep.add([p, kind] { return run_bc(p, kind); });
+      sweep.add([p, kind] { return run_ba(p, kind, /*mixed=*/false); });
+      sweep.add([p, kind] { return run_ba(p, kind, /*mixed=*/true); });
+      sweep.add([p, kind] { return run_acs(p, kind); });
+    }
+  }
+  const std::vector<Row> rows = sweep.run();
+
+  std::size_t idx = 0;
+  for (ProtocolParams p : params) {
     const Timing tm = Timing::derive(p, 10);
     const std::string title =
         "n=" + std::to_string(p.n) + " ts=" + std::to_string(p.ts) +
@@ -133,34 +157,33 @@ int main() {
     bench::banner(title);
     bench::Table t({"primitive", "network", "all output", "consistent",
                     "latest output", "bound", "messages"});
-    for (NetworkKind kind :
-         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    for (NetworkKind kind : kinds) {
       const char* nk = kind == NetworkKind::synchronous ? "sync" : "async";
       const bool sync = kind == NetworkKind::synchronous;
       {
-        Row r = run_acast(p, kind);
+        const Row r = rows[idx++];
         t.row("Acast (4.3)", nk, r.all_output ? "yes" : "NO", "-", r.latest,
               sync ? std::to_string(3 * tm.delta) : "eventual", r.messages);
       }
       {
-        Row r = run_bc(p, kind);
+        const Row r = rows[idx++];
         t.row("Pi_BC (4.5)", nk, r.all_output ? "yes" : "NO", "-", r.latest,
               sync ? std::to_string(tm.t_bc) : "eventual", r.messages);
       }
       {
-        Row r = run_ba(p, kind, /*mixed=*/false);
+        const Row r = rows[idx++];
         t.row("Pi_BA unanimous (4.7)", nk, r.all_output ? "yes" : "NO",
               r.consistent ? "yes" : "NO", "-",
               sync ? std::to_string(tm.t_ba) : "a.s. eventual", r.messages);
       }
       {
-        Row r = run_ba(p, kind, /*mixed=*/true);
+        const Row r = rows[idx++];
         t.row("Pi_BA mixed (4.7)", nk, r.all_output ? "yes" : "NO",
               r.consistent ? "yes" : "NO", "-",
               sync ? std::to_string(tm.t_ba) : "a.s. eventual", r.messages);
       }
       {
-        Row r = run_acs(p, kind);
+        const Row r = rows[idx++];
         t.row("Pi_ACS (4.9)", nk, r.all_output ? "yes" : "NO",
               r.consistent ? "yes" : "NO", "-",
               sync ? std::to_string(tm.t_acs) : "a.s. eventual", r.messages);

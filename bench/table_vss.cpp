@@ -1,10 +1,14 @@
 // Experiment E5 — Π_VSS matrix (Theorem 7.3): strong commitment, timing vs
 // T_VSS, reveal audit (⊆ Z), across networks and adversaries.
+// The 18 grid cells (parameter point x network x adversary) fan out
+// through the sweep engine (--jobs / NAMPC_JOBS); rendering happens on the
+// main thread in submission order.
 #include <iostream>
 
 #include "adversary/scripted.h"
 #include "bench_util.h"
 #include "sharing/vss.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -85,7 +89,8 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E5: Pi_VSS matrix (Theorem 7.3). T_VSS = "
                "(ts+1)(5T_BC+T'_WSS+2T_BA); strong commitment: honest "
                "outputs are all-or-none and lie on one degree-ts "
@@ -96,10 +101,28 @@ int main() {
     bool ideal;
     PartySet z;
   };
-  for (const Cfg& c :
-       {Cfg{{4, 1, 0}, false, PartySet::of({3})},
-        Cfg{{5, 1, 1}, false, PartySet{}},
-        Cfg{{7, 2, 1}, true, PartySet::of({6})}}) {
+  const std::vector<Cfg> cfgs = {Cfg{{4, 1, 0}, false, PartySet::of({3})},
+                                 Cfg{{5, 1, 1}, false, PartySet{}},
+                                 Cfg{{7, 2, 1}, true, PartySet::of({6})}};
+  const std::vector<NetworkKind> kinds = {NetworkKind::synchronous,
+                                          NetworkKind::asynchronous};
+  const std::vector<const char*> attacks = {"none", "silent-z",
+                                            "cheating-dealer"};
+
+  Sweep<Result> sweep(jobs);
+  for (const Cfg& c : cfgs) {
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        sweep.add([c, kind, attack] {
+          return run(c.p, kind, attack, c.ideal, c.z, 88);
+        });
+      }
+    }
+  }
+  const std::vector<Result> results = sweep.run();
+
+  std::size_t idx = 0;
+  for (const Cfg& c : cfgs) {
     const Timing tm = Timing::derive(c.p, 10);
     const std::string title =
         "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
@@ -110,10 +133,9 @@ int main() {
     bench::Table t({"network", "adversary", "holders", "no output",
                     "latest t", "<=T_VSS", "deg<=ts", "reveals in Z",
                     "messages"});
-    for (NetworkKind kind :
-         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
-      for (const char* attack : {"none", "silent-z", "cheating-dealer"}) {
-        const Result r = run(c.p, kind, attack, c.ideal, c.z, 88);
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        const Result r = results[idx++];
         const bool sync = kind == NetworkKind::synchronous;
         t.row(sync ? "sync" : "async", attack, r.holders, r.empty, r.latest,
               sync && r.latest >= 0

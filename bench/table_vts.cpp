@@ -2,11 +2,15 @@
 // triples in both networks, with a cheating-dealer column showing that a
 // dealer whose Z-polynomial violates X·Y = Z never gets bad triples
 // accepted.
+// The 18 grid cells (parameter point x network x adversary) fan out
+// through the sweep engine (--jobs / NAMPC_JOBS); rendering happens on the
+// main thread in submission order.
 #include <iostream>
 
 #include "adversary/scripted.h"
 #include "bench_util.h"
 #include "triples/vts.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -79,7 +83,8 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E6: Pi_VTS matrix (Theorem 8.2). T_VTS = T_VSS + 3T_BC + 2Δ; "
                "an accepted triple always satisfies c = a*b.\n";
   bench::BenchReport report("vts");
@@ -88,10 +93,27 @@ int main() {
     bool ideal;
     PartySet z;
   };
-  for (const Cfg& c :
-       {Cfg{{4, 1, 0}, false, PartySet::of({3})},
-        Cfg{{5, 1, 1}, false, PartySet{}},
-        Cfg{{7, 2, 1}, true, PartySet::of({6})}}) {
+  const std::vector<Cfg> cfgs = {Cfg{{4, 1, 0}, false, PartySet::of({3})},
+                                 Cfg{{5, 1, 1}, false, PartySet{}},
+                                 Cfg{{7, 2, 1}, true, PartySet::of({6})}};
+  const std::vector<NetworkKind> kinds = {NetworkKind::synchronous,
+                                          NetworkKind::asynchronous};
+  const std::vector<const char*> attacks = {"none", "silent-z", "bad-dealer"};
+
+  Sweep<Result> sweep(jobs);
+  for (const Cfg& c : cfgs) {
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        sweep.add([c, kind, attack] {
+          return run(c.p, kind, attack, c.ideal, c.z, 33);
+        });
+      }
+    }
+  }
+  const std::vector<Result> results = sweep.run();
+
+  std::size_t idx = 0;
+  for (const Cfg& c : cfgs) {
     const Timing tm = Timing::derive(c.p, 10);
     const std::string title =
         "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
@@ -101,10 +123,9 @@ int main() {
     bench::banner(title);
     bench::Table t({"network", "adversary", "triples", "discarded", "none",
                     "c==a*b", "latest t", "<=T_VTS", "messages"});
-    for (NetworkKind kind :
-         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
-      for (const char* attack : {"none", "silent-z", "bad-dealer"}) {
-        const Result r = run(c.p, kind, attack, c.ideal, c.z, 33);
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        const Result r = results[idx++];
         const bool sync = kind == NetworkKind::synchronous;
         t.row(sync ? "sync" : "async", attack, r.with_triples, r.discarded,
               r.none, r.triples_valid ? "yes" : "NO", r.latest,

@@ -1,11 +1,15 @@
 // Experiment E4 — Π_WSS behaviour matrix (Theorem 6.3): completion time vs
 // T_WSS, restart counts, privacy audit, across parameter points, networks
 // and adversaries.
+// The 18 grid cells (parameter point x network x adversary) are
+// independent simulations, so they fan out through the sweep engine
+// (--jobs / NAMPC_JOBS) and are rendered in submission order.
 #include <iostream>
 
 #include "adversary/scripted.h"
 #include "bench_util.h"
 #include "sharing/wss.h"
+#include "util/sweep.h"
 
 using namespace nampc;
 
@@ -82,7 +86,8 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = sweep_cli_jobs(argc, argv);
   std::cout << "E4: Pi_WSS matrix (Theorem 6.3). T_WSS = "
                "(ts-ta+1)(5T_BC+2T_BA)+3Δ; restarts bounded by ts-ta; "
                "revealed rows bounded by ts-ta.\n";
@@ -91,8 +96,26 @@ int main() {
     ProtocolParams p;
     bool ideal;
   };
-  for (const Cfg& c : {Cfg{{4, 1, 0}, false}, Cfg{{7, 2, 1}, false},
-                       Cfg{{10, 3, 1}, true}}) {
+  const std::vector<Cfg> cfgs = {Cfg{{4, 1, 0}, false}, Cfg{{7, 2, 1}, false},
+                                 Cfg{{10, 3, 1}, true}};
+  const std::vector<NetworkKind> kinds = {NetworkKind::synchronous,
+                                          NetworkKind::asynchronous};
+  const std::vector<const char*> attacks = {"none", "silent", "wrong-points"};
+
+  Sweep<Result> sweep(jobs);
+  for (const Cfg& c : cfgs) {
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        sweep.add([c, kind, attack] {
+          return run(c.p, kind, attack, c.ideal, 77);
+        });
+      }
+    }
+  }
+  const std::vector<Result> results = sweep.run();
+
+  std::size_t idx = 0;
+  for (const Cfg& c : cfgs) {
     const Timing tm = Timing::derive(c.p, 10);
     const std::string title =
         "n=" + std::to_string(c.p.n) + " ts=" + std::to_string(c.p.ts) +
@@ -103,10 +126,9 @@ int main() {
     bench::Table t({"network", "adversary", "rows", "bot", "none",
                     "latest t", "<=T_WSS", "restarts", "revealed",
                     "consistent", "messages"});
-    for (NetworkKind kind :
-         {NetworkKind::synchronous, NetworkKind::asynchronous}) {
-      for (const char* attack : {"none", "silent", "wrong-points"}) {
-        const Result r = run(c.p, kind, attack, c.ideal, 77);
+    for (NetworkKind kind : kinds) {
+      for (const char* attack : attacks) {
+        const Result r = results[idx++];
         const bool sync = kind == NetworkKind::synchronous;
         t.row(sync ? "sync" : "async", attack, r.with_rows, r.with_bot,
               r.no_output, r.latest,

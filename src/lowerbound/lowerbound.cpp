@@ -157,37 +157,31 @@ AttackOutcome run_partition_attack(bool x1, bool x2, TieBreak rule,
   return out;
 }
 
+AttackOutcome find_violation(TieBreak rule) {
+  for (bool x1 : {false, true}) {
+    for (bool x2 : {false, true}) {
+      for (int relay : {2, 3}) {
+        for (bool lie : {false, true}) {
+          const AttackOutcome o =
+              run_partition_attack(x1, x2, rule, relay, lie, 7);
+          if (!o.correct()) return o;
+        }
+      }
+    }
+  }
+  // Sentinel "no violation" (should never happen — the theorem guarantees
+  // one per rule).
+  AttackOutcome none;
+  none.rule = rule;
+  none.p1_output = none.p2_output = false;
+  return none;
+}
+
 std::vector<AttackOutcome> find_violations() {
   std::vector<AttackOutcome> witnesses;
   for (TieBreak rule : {TieBreak::trust_p3, TieBreak::trust_p4,
                         TieBreak::assume_zero, TieBreak::assume_one}) {
-    bool found = false;
-    for (bool x1 : {false, true}) {
-      for (bool x2 : {false, true}) {
-        for (int relay : {2, 3}) {
-          for (bool lie : {false, true}) {
-            const AttackOutcome o =
-                run_partition_attack(x1, x2, rule, relay, lie, 7);
-            if (!o.correct()) {
-              witnesses.push_back(o);
-              found = true;
-              break;
-            }
-          }
-          if (found) break;
-        }
-        if (found) break;
-      }
-      if (found) break;
-    }
-    if (!found) {
-      // Record a sentinel "no violation" (should never happen — the
-      // theorem guarantees one per rule).
-      AttackOutcome none;
-      none.rule = rule;
-      none.p1_output = none.p2_output = false;
-      witnesses.push_back(none);
-    }
+    witnesses.push_back(find_violation(rule));
   }
   return witnesses;
 }

@@ -58,9 +58,13 @@ struct AttackOutcome {
                                                  bool lie_to_p2,
                                                  std::uint64_t seed);
 
-/// For each tie-break rule, searches inputs × adversary strategies and
-/// returns one witnessing disagreement-or-incorrectness (the theorem
-/// guarantees one exists for every rule).
+/// Searches inputs × adversary strategies for one witness of
+/// disagreement-or-incorrectness under `rule` (the theorem guarantees one
+/// exists). Each rule's search is independent — the bench sweeps them in
+/// parallel.
+[[nodiscard]] AttackOutcome find_violation(TieBreak rule);
+
+/// find_violation for every rule, in declaration order.
 [[nodiscard]] std::vector<AttackOutcome> find_violations();
 
 }  // namespace nampc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 
 #include "obs/tracer.h"
 
@@ -126,9 +127,13 @@ RunStatus Simulation::run() {
     if (metrics_.events_processed >= config_.max_events) {
       // A tripped event limit is almost always a livelock; the log ring
       // (if enabled) holds the only actionable record of the final spins.
-      std::cerr << "nampc: event limit (" << config_.max_events
-                << ") tripped at t=" << now_ << "\n";
-      Log::dump_ring(std::cerr);
+      // Composed into one buffer and written in one call so concurrent
+      // sweep jobs tripping the limit cannot interleave their dumps.
+      std::ostringstream dump;
+      dump << "nampc: event limit (" << config_.max_events << ") tripped at t="
+           << now_ << "\n";
+      Log::dump_ring(dump);
+      std::cerr << dump.str();
       return RunStatus::event_limit;
     }
     const Event& top = queue_.top();

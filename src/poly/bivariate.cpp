@@ -1,5 +1,7 @@
 #include "poly/bivariate.h"
 
+#include "field/fp_batch.h"
+
 namespace nampc {
 
 namespace {
@@ -54,14 +56,15 @@ Fp SymBivariate::eval(Fp x, Fp y) const {
 }
 
 Polynomial SymBivariate::row(Fp y0) const {
+  // coeff_i = <b_[i], (1, y0, y0^2, ...)>: the power row is shared by every
+  // coefficient, and each dot product runs with deferred reduction — n
+  // Horner chains collapse into one fp_powers fill plus n batched dots.
   const std::size_t n = b_.size();
+  FpVec powers(n);
+  fp_powers(y0, powers.data(), n);
   FpVec coeffs(n);
   for (std::size_t i = 0; i < n; ++i) {
-    Fp acc(0);
-    for (std::size_t j = n; j-- > 0;) {
-      acc = acc * y0 + b_[i][j];
-    }
-    coeffs[i] = acc;
+    coeffs[i] = fp_dot(b_[i].data(), powers.data(), n);
   }
   return Polynomial(std::move(coeffs));
 }

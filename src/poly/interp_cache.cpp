@@ -1,0 +1,101 @@
+#include "poly/interp_cache.h"
+
+#include "field/fp_batch.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+namespace {
+
+/// Bases are tiny (O(m^2) words for m points, m <= n), but point sets from
+/// decode subsets vary; keep a generous cap so steady-state protocol runs
+/// never evict while pathological sweeps cannot grow without bound.
+constexpr std::size_t kMaxCachedSets = 1024;
+
+}  // namespace
+
+InterpCache& InterpCache::local() {
+  static thread_local InterpCache cache;
+  return cache;
+}
+
+void InterpCache::clear() {
+  bases_.clear();
+  lagrange_.clear();
+}
+
+void InterpCache::maybe_trim() {
+  if (bases_.size() > kMaxCachedSets) bases_.clear();
+  if (lagrange_.size() > kMaxCachedSets) lagrange_.clear();
+}
+
+const InterpCache::Basis& InterpCache::basis_for(const FpVec& xs) {
+  NAMPC_REQUIRE(!xs.empty(), "interpolate: no points");
+  const auto it = bases_.find(xs);
+  if (it != bases_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  maybe_trim();
+
+  const std::size_t m = xs.size();
+  // Master polynomial P(x) = prod_j (x - xs[j]), ascending, degree m.
+  FpVec master(m + 1);
+  master[0] = Fp(1);
+  std::size_t deg = 0;
+  for (const Fp x : xs) {
+    master[deg + 1] = master[deg];
+    for (std::size_t k = deg; k > 0; --k) {
+      master[k] = master[k - 1] - x * master[k];
+    }
+    master[0] = -x * master[0];
+    ++deg;
+  }
+
+  Basis basis;
+  basis.rows.assign(m, FpVec(m));
+  FpVec quotient(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // N_i = P / (x - xs[i]) by synthetic division (ascending coefficients).
+    const Fp c = xs[i];
+    quotient[m - 1] = master[m];
+    for (std::size_t k = m - 1; k > 0; --k) {
+      quotient[k - 1] = master[k] + c * quotient[k];
+    }
+    // Normalise: L_i = N_i / N_i(xs[i]) (Horner; N_i(xs[i]) = P'(xs[i])).
+    Fp denom(0);
+    for (std::size_t k = m; k-- > 0;) denom = denom * c + quotient[k];
+    NAMPC_REQUIRE(!denom.is_zero(), "interpolate: duplicate x coordinate");
+    const Fp inv = denom.inverse();
+    for (std::size_t k = 0; k < m; ++k) {
+      basis.rows[k][i] = quotient[k] * inv;
+    }
+  }
+  return bases_.emplace(xs, std::move(basis)).first->second;
+}
+
+const FpVec& InterpCache::lagrange(const FpVec& xs, Fp at) {
+  maybe_trim();  // before taking any reference into the table
+  auto& per_set = lagrange_[xs];
+  const auto it = per_set.find(at.value());
+  if (it != per_set.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return per_set.emplace(at.value(), lagrange_coefficients(xs, at))
+      .first->second;
+}
+
+Polynomial InterpCache::interpolate(const FpVec& xs, const FpVec& ys) {
+  NAMPC_REQUIRE(xs.size() == ys.size(), "interpolate: size mismatch");
+  const Basis& basis = basis_for(xs);
+  FpVec coeffs(xs.size());
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    coeffs[k] = fp_dot(basis.rows[k], ys);
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace nampc

@@ -1,0 +1,95 @@
+// Cached interpolation kernels keyed by evaluation-point set.
+//
+// The protocol stack interpolates and applies Lagrange maps over the SAME
+// point sets again and again: party evaluation points 1..n (or a subset
+// that survived decoding) for every sharing instance, every VTS round,
+// every reconstruction. The basis data — Lagrange coefficient vectors and
+// the full basis-polynomial matrix (the inverse of the Vandermonde system
+// for those points) — depends only on the xs, not on the shares, so it is
+// computed once per point set and reused.
+//
+// Caches are thread_local: each sweep-engine worker owns its own cache, so
+// no synchronisation is needed and a job's results cannot depend on what
+// other jobs computed (determinism contract of util/sweep.h). Cached
+// results are bit-identical to the uncached reference implementations
+// (exact field arithmetic; asserted by tests/test_parallel.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "poly/polynomial.h"
+
+namespace nampc {
+
+/// Thread-local cache of per-point-set interpolation bases.
+class InterpCache {
+ public:
+  /// The calling thread's cache (each sweep worker gets its own).
+  [[nodiscard]] static InterpCache& local();
+
+  /// Lagrange coefficients L_i with f(at) = sum_i L_i ys[i]; equal to
+  /// lagrange_coefficients(xs, at). The reference stays valid until
+  /// clear() — entries are never evicted mid-use.
+  [[nodiscard]] const FpVec& lagrange(const FpVec& xs, Fp at);
+
+  /// Interpolation through (xs[i], ys[i]) via the cached basis matrix;
+  /// equal to Polynomial::interpolate(xs, ys).
+  [[nodiscard]] Polynomial interpolate(const FpVec& xs, const FpVec& ys);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Drops every cached basis (bounds memory; also used by tests).
+  void clear();
+
+ private:
+  /// Basis-polynomial matrix for one point set: rows_[k][i] is coefficient
+  /// k of the i-th Lagrange basis polynomial L_i, so interpolation is one
+  /// fp_dot(rows_[k], ys) per output coefficient.
+  struct Basis {
+    std::vector<FpVec> rows;
+  };
+
+  /// FNV-style hash over point values (exact xs equality is re-checked on
+  /// lookup, so collisions only cost a probe).
+  struct KeyHash {
+    std::size_t operator()(const FpVec& xs) const {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (const Fp x : xs) {
+        h ^= x.value();
+        h *= 0x100000001b3ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct KeyEq {
+    bool operator()(const FpVec& a, const FpVec& b) const { return a == b; }
+  };
+
+  const Basis& basis_for(const FpVec& xs);
+  void maybe_trim();
+
+  std::unordered_map<FpVec, Basis, KeyHash, KeyEq> bases_;
+  std::unordered_map<FpVec, std::unordered_map<std::uint64_t, FpVec>, KeyHash,
+                     KeyEq>
+      lagrange_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Convenience wrappers over InterpCache::local(). Drop-in replacements for
+/// lagrange_coefficients / Polynomial::interpolate on hot paths where the
+/// same point set recurs (protocol code, the RS decoder).
+[[nodiscard]] inline const FpVec& lagrange_coefficients_cached(
+    const FpVec& xs, Fp at) {
+  return InterpCache::local().lagrange(xs, at);
+}
+
+[[nodiscard]] inline Polynomial interpolate_cached(const FpVec& xs,
+                                                   const FpVec& ys) {
+  return InterpCache::local().interpolate(xs, ys);
+}
+
+}  // namespace nampc

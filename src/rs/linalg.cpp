@@ -1,10 +1,19 @@
 #include "rs/linalg.h"
 
+#include "field/fp_batch.h"
 #include "util/assert.h"
 
 namespace nampc {
 
 std::optional<FpVec> solve_linear(FpMatrix a, FpVec b) {
+  FpVec x;
+  std::vector<std::size_t> scratch;
+  if (!solve_linear_inplace(a, b, x, scratch)) return std::nullopt;
+  return x;
+}
+
+bool solve_linear_inplace(FpMatrix& a, FpVec& b, FpVec& x,
+                          std::vector<std::size_t>& pivot_scratch) {
   const std::size_t rows = a.size();
   NAMPC_REQUIRE(b.size() == rows, "solve_linear: rhs size mismatch");
   const std::size_t cols = rows == 0 ? 0 : a[0].size();
@@ -12,8 +21,8 @@ std::optional<FpVec> solve_linear(FpMatrix a, FpVec b) {
     NAMPC_REQUIRE(row.size() == cols, "solve_linear: ragged matrix");
   }
 
-  std::vector<std::size_t> pivot_col_of_row;
-  pivot_col_of_row.reserve(rows);
+  pivot_scratch.clear();
+  pivot_scratch.reserve(rows);
   std::size_t rank = 0;
   for (std::size_t col = 0; col < cols && rank < rows; ++col) {
     // Find a pivot in this column at or below `rank`.
@@ -28,25 +37,24 @@ std::optional<FpVec> solve_linear(FpMatrix a, FpVec b) {
     for (std::size_t r = 0; r < rows; ++r) {
       if (r == rank || a[r][col].is_zero()) continue;
       const Fp factor = a[r][col];
-      for (std::size_t j = col; j < cols; ++j) {
-        a[r][j] -= factor * a[rank][j];
-      }
+      fp_sub_scaled(a[r].data() + col, factor, a[rank].data() + col,
+                    cols - col);
       b[r] -= factor * b[rank];
     }
-    pivot_col_of_row.push_back(col);
+    pivot_scratch.push_back(col);
     ++rank;
   }
 
   // Consistency: any zero row of A must have zero rhs.
   for (std::size_t r = rank; r < rows; ++r) {
-    if (!b[r].is_zero()) return std::nullopt;
+    if (!b[r].is_zero()) return false;
   }
 
-  FpVec x(cols, Fp(0));
+  x.assign(cols, Fp(0));
   for (std::size_t r = 0; r < rank; ++r) {
-    x[pivot_col_of_row[r]] = b[r];
+    x[pivot_scratch[r]] = b[r];
   }
-  return x;
+  return true;
 }
 
 }  // namespace nampc

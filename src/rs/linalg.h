@@ -16,4 +16,13 @@ using FpMatrix = std::vector<FpVec>;
 /// zero. A and b are taken by value (the elimination is destructive).
 [[nodiscard]] std::optional<FpVec> solve_linear(FpMatrix a, FpVec b);
 
+/// In-place variant for callers that own a reusable workspace (the RS
+/// decoder's per-round schedule): eliminates directly in `a`/`b`, writes
+/// the solution into `x`, and reuses `pivot_scratch` across calls so the
+/// hot path performs no allocations beyond first use. Returns false when
+/// the system is inconsistent. Identical pivoting and arithmetic to
+/// solve_linear, so results are bit-identical.
+[[nodiscard]] bool solve_linear_inplace(FpMatrix& a, FpVec& b, FpVec& x,
+                                        std::vector<std::size_t>& pivot_scratch);
+
 }  // namespace nampc

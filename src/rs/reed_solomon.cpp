@@ -1,11 +1,29 @@
 #include "rs/reed_solomon.h"
 
+#include "field/fp_batch.h"
+#include "poly/interp_cache.h"
 #include "rs/linalg.h"
 #include "util/assert.h"
 
 namespace nampc {
 
 namespace {
+
+/// Mismatch count between f and the received word, using the decoder's
+/// precomputed power rows: f(x_i) = <coeffs, powers_i> (one batched dot per
+/// point instead of a Horner chain).
+int distance_with_powers(const Polynomial& f,
+                         const std::vector<RsPoint>& points,
+                         const std::vector<FpVec>& powers) {
+  const FpVec& coeffs = f.coeffs();
+  int mismatches = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Fp fx = fp_eval_with_powers(coeffs.data(), powers[i].data(),
+                                      coeffs.size());
+    if (fx != points[i].y) ++mismatches;
+  }
+  return mismatches;
+}
 
 int distance_to(const Polynomial& f, const std::vector<RsPoint>& points) {
   int mismatches = 0;
@@ -17,7 +35,13 @@ int distance_to(const Polynomial& f, const std::vector<RsPoint>& points) {
 
 }  // namespace
 
-RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
+RsDecoder& RsDecoder::local() {
+  static thread_local RsDecoder decoder;
+  return decoder;
+}
+
+RsDecodeResult RsDecoder::decode(const std::vector<RsPoint>& points, int k,
+                                 int e) {
   NAMPC_REQUIRE(k >= 0 && e >= 0, "rs_decode: bad parameters");
   const int n_points = static_cast<int>(points.size());
   NAMPC_REQUIRE(n_points >= k + 2 * e + 1,
@@ -25,14 +49,17 @@ RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
 
   if (e == 0) {
     // Plain interpolation through the first k+1 points, then verify all.
-    FpVec xs, ys;
-    xs.reserve(static_cast<std::size_t>(k) + 1);
-    ys.reserve(static_cast<std::size_t>(k) + 1);
+    // The first k+1 evaluation points recur across the decode schedule, so
+    // the cached basis applies.
+    xs_.clear();
+    ys_.clear();
+    xs_.reserve(static_cast<std::size_t>(k) + 1);
+    ys_.reserve(static_cast<std::size_t>(k) + 1);
     for (int i = 0; i <= k; ++i) {
-      xs.push_back(points[static_cast<std::size_t>(i)].x);
-      ys.push_back(points[static_cast<std::size_t>(i)].y);
+      xs_.push_back(points[static_cast<std::size_t>(i)].x);
+      ys_.push_back(points[static_cast<std::size_t>(i)].y);
     }
-    Polynomial f = Polynomial::interpolate(xs, ys);
+    Polynomial f = interpolate_cached(xs_, ys_);
     if (f.degree() <= k && distance_to(f, points) == 0) {
       return {RsStatus::ok, std::move(f), 0};
     }
@@ -43,31 +70,36 @@ RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
   // Equation per point i:  sum_j q_j x^j  -  y * sum_{u<e} a_u x^u  =  y x^e.
   const int q_terms = k + e + 1;
   const int unknowns = q_terms + e;
-  FpMatrix a(static_cast<std::size_t>(n_points),
-             FpVec(static_cast<std::size_t>(unknowns)));
-  FpVec rhs(static_cast<std::size_t>(n_points));
-  for (int i = 0; i < n_points; ++i) {
-    const Fp x = points[static_cast<std::size_t>(i)].x;
-    const Fp y = points[static_cast<std::size_t>(i)].y;
-    Fp xp(1);
+  const auto n_rows = static_cast<std::size_t>(n_points);
+
+  // Power rows x_i^0..x_i^{q_terms-1}: shared by the matrix build and the
+  // distance verification below. Row buffers persist across decodes.
+  powers_.resize(n_rows);
+  a_.resize(n_rows);
+  rhs_.resize(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    powers_[i].resize(static_cast<std::size_t>(q_terms));
+    fp_powers(points[i].x, powers_[i].data(),
+              static_cast<std::size_t>(q_terms));
+    a_[i].resize(static_cast<std::size_t>(unknowns));
+    const Fp y = points[i].y;
     for (int j = 0; j < q_terms; ++j) {
-      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = xp;
-      xp *= x;
+      a_[i][static_cast<std::size_t>(j)] =
+          powers_[i][static_cast<std::size_t>(j)];
     }
-    Fp xe(1);
     for (int u = 0; u < e; ++u) {
-      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(q_terms + u)] =
-          -(y * xe);
-      xe *= x;
+      a_[i][static_cast<std::size_t>(q_terms + u)] =
+          -(y * powers_[i][static_cast<std::size_t>(u)]);
     }
-    rhs[static_cast<std::size_t>(i)] = y * xe;  // xe == x^e here
+    rhs_[i] = y * powers_[i][static_cast<std::size_t>(e)];
   }
 
-  const auto solution = solve_linear(std::move(a), std::move(rhs));
-  if (!solution.has_value()) return {RsStatus::detected, {}, 0};
+  if (!solve_linear_inplace(a_, rhs_, solution_, pivots_)) {
+    return {RsStatus::detected, {}, 0};
+  }
 
-  FpVec q_coeffs(solution->begin(), solution->begin() + q_terms);
-  FpVec e_coeffs(solution->begin() + q_terms, solution->end());
+  FpVec q_coeffs(solution_.begin(), solution_.begin() + q_terms);
+  FpVec e_coeffs(solution_.begin() + q_terms, solution_.end());
   e_coeffs.push_back(Fp(1));  // monic x^e term
   const Polynomial q_poly{std::move(q_coeffs)};
   const Polynomial e_poly{std::move(e_coeffs)};
@@ -75,9 +107,13 @@ RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
   auto [f, rem] = q_poly.div_rem(e_poly);
   if (rem.degree() >= 0) return {RsStatus::detected, {}, 0};
   if (f.degree() > k) return {RsStatus::detected, {}, 0};
-  const int dist = distance_to(f, points);
+  const int dist = distance_with_powers(f, points, powers_);
   if (dist > e) return {RsStatus::detected, {}, 0};
   return {RsStatus::ok, std::move(f), dist};
+}
+
+RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
+  return RsDecoder::local().decode(points, k, e);
 }
 
 ScheduledDecode rs_decode_scheduled(const std::vector<RsPoint>& points,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "poly/polynomial.h"
+#include "rs/linalg.h"
 
 namespace nampc {
 
@@ -41,9 +42,35 @@ struct RsDecodeResult {
 /// Berlekamp-Welch decode of a degree <= k polynomial from `points`,
 /// correcting up to e errors. points.size() >= k + 2e + 1 is required for
 /// the correction guarantee; fewer points make the system underdetermined
-/// and the call is rejected.
+/// and the call is rejected. Delegates to the calling thread's RsDecoder
+/// workspace, so repeated decodes (the per-round schedule of Π_WSS, the
+/// triple reconstructions) allocate nothing after the first call.
 [[nodiscard]] RsDecodeResult rs_decode(const std::vector<RsPoint>& points,
                                        int k, int e);
+
+/// Reusable Berlekamp-Welch workspace. One decoder holds the power rows,
+/// the coefficient matrix and the rhs/solution buffers of the linear
+/// system; decode() refills them in place, so a decode schedule that calls
+/// it with the same shape (same m, k, e — exactly what the per-round
+/// schedules of Corollaries 3.3/3.4 do) reuses every byte. Results are
+/// bit-identical to a fresh decode (asserted by tests/test_parallel.cpp).
+/// Not thread-safe; use one per thread (rs_decode does, via local()).
+class RsDecoder {
+ public:
+  /// The calling thread's shared workspace.
+  [[nodiscard]] static RsDecoder& local();
+
+  [[nodiscard]] RsDecodeResult decode(const std::vector<RsPoint>& points,
+                                      int k, int e);
+
+ private:
+  std::vector<FpVec> powers_;  ///< powers_[i][j] = x_i^j (build + verify)
+  FpMatrix a_;                 ///< coefficient matrix of the BW system
+  FpVec rhs_;
+  FpVec solution_;
+  std::vector<std::size_t> pivots_;
+  FpVec xs_, ys_;              ///< e == 0 interpolation scratch
+};
 
 /// Convenience used by the protocols: decode with the (e, e') schedule of
 /// Corollaries 3.3/3.4. Given m = ts + ta + 1 + x received points for a

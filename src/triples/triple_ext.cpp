@@ -1,5 +1,7 @@
 #include "triples/triple_ext.h"
 
+#include "field/fp_batch.h"
+#include "poly/interp_cache.h"
 #include "poly/polynomial.h"
 
 namespace nampc {
@@ -12,10 +14,8 @@ Fp extrapolate(const FpVec& pts, Fp at) {
   for (std::size_t i = 0; i < pts.size(); ++i) {
     xs.push_back(Fp(static_cast<std::uint64_t>(i) + 1));
   }
-  const FpVec coeffs = lagrange_coefficients(xs, at);
-  Fp acc(0);
-  for (std::size_t i = 0; i < pts.size(); ++i) acc += coeffs[i] * pts[i];
-  return acc;
+  const FpVec& coeffs = lagrange_coefficients_cached(xs, at);
+  return fp_dot(coeffs.data(), pts.data(), pts.size());
 }
 }  // namespace
 

@@ -1,5 +1,7 @@
 #include "triples/vts.h"
 
+#include "field/fp_batch.h"
+#include "poly/interp_cache.h"
 #include "triples/recon.h"
 
 namespace nampc {
@@ -111,8 +113,8 @@ void Vts::start(bool sabotage) {
       by.push_back(plain[static_cast<std::size_t>(l)]
                         [static_cast<std::size_t>(i)][1]);
     }
-    const Polynomial x_poly = Polynomial::interpolate(xs_xy, ax);
-    const Polynomial y_poly = Polynomial::interpolate(xs_xy, by);
+    const Polynomial x_poly = interpolate_cached(xs_xy, ax);
+    const Polynomial y_poly = interpolate_cached(xs_xy, by);
     FpVec xs_z, cz;
     for (int i = 0; i < 2 * ts() + 1; ++i) {
       const Fp pt(static_cast<std::uint64_t>(i) + 1);
@@ -121,7 +123,7 @@ void Vts::start(bool sabotage) {
                                        [static_cast<std::size_t>(i)][2]
                                 : x_poly.eval(pt) * y_poly.eval(pt));
     }
-    const Polynomial z_poly = Polynomial::interpolate(xs_z, cz);
+    const Polynomial z_poly = interpolate_cached(xs_z, cz);
     dealer_plain_[static_cast<std::size_t>(l)] = {
         x_poly.eval(beta), y_poly.eval(beta), z_poly.eval(beta)};
   }
@@ -136,10 +138,8 @@ Fp Vts::extrapolate(const FpVec& pts, Fp at) const {
   for (std::size_t i = 0; i < pts.size(); ++i) {
     xs.push_back(Fp(static_cast<std::uint64_t>(i) + 1));
   }
-  const FpVec coeffs = lagrange_coefficients(xs, at);
-  Fp acc(0);
-  for (std::size_t i = 0; i < pts.size(); ++i) acc += coeffs[i] * pts[i];
-  return acc;
+  const FpVec& coeffs = lagrange_coefficients_cached(xs, at);
+  return fp_dot(coeffs.data(), pts.data(), pts.size());
 }
 
 void Vts::on_vss_output() {

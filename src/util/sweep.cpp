@@ -1,0 +1,45 @@
+#include "util/sweep.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace nampc {
+
+namespace {
+
+/// Parses a positive integer; returns 0 on any failure.
+int parse_jobs(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0' || v < 1 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int sweep_default_jobs() {
+  const int env = parse_jobs(std::getenv("NAMPC_JOBS"));
+  return env > 0 ? env : hardware_threads();
+}
+
+int sweep_cli_jobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 < argc) {
+        const int v = parse_jobs(argv[i + 1]);
+        if (v > 0) return v;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const int v = parse_jobs(arg.c_str() + 7);
+      if (v > 0) return v;
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      const int v = parse_jobs(arg.c_str() + 2);
+      if (v > 0) return v;
+    }
+  }
+  return sweep_default_jobs();
+}
+
+}  // namespace nampc

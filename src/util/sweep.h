@@ -1,0 +1,110 @@
+// Deterministic parallel sweep engine.
+//
+// A "sweep" is a batch of fully independent simulation configurations (a
+// table regenerator's grid, a property test's seed range). Each job owns
+// every piece of mutable state it touches — its Simulation, seeded Rng,
+// adversary, tracer, metrics — and returns a plain result value. The engine
+// fans jobs out across a fixed-size ThreadPool and merges results **in
+// submission order**, so the caller-observable outcome is byte-identical to
+// running the same jobs serially: same results vector, same table rows,
+// same BENCH_*.json bytes. That is the determinism contract, and it is
+// enforced by tests/test_parallel.cpp and the bench-smoke CI job.
+//
+// What jobs must NOT do: write to std::cout/std::cerr (render results after
+// the sweep, on the calling thread), mutate Log/ring configuration, or
+// share Simulations across jobs. Global read-only state (Log levels set up
+// before the sweep, Fp constants) is fine; thread-local kernel caches
+// (poly/interpolation cache, the Berlekamp-Welch workspace) keep the hot
+// paths allocation-free without cross-thread sharing.
+//
+// Job count resolution (first match wins):
+//   1. an explicit --jobs N / --jobs=N command-line flag (sweep_cli_jobs)
+//   2. the NAMPC_JOBS environment variable
+//   3. std::thread::hardware_concurrency()
+// A job count of 1 short-circuits to plain serial execution on the calling
+// thread — no pool, no threads — which is also the fallback wherever
+// threads are unavailable or unwanted (e.g. under heavy sanitizers).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace nampc {
+
+/// NAMPC_JOBS if set and positive, else hardware_threads().
+[[nodiscard]] int sweep_default_jobs();
+
+/// Resolves the job count for a CLI tool: scans argv for "--jobs N" or
+/// "--jobs=N" (also accepts "-j N" / "-jN"), falling back to
+/// sweep_default_jobs(). Malformed or non-positive values fall back too.
+[[nodiscard]] int sweep_cli_jobs(int argc, char** argv);
+
+/// A batch of independent jobs returning R, executed with `jobs`-way
+/// parallelism and merged in submission order.
+template <typename R>
+class Sweep {
+ public:
+  explicit Sweep(int jobs = sweep_default_jobs()) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t pending() const { return tasks_.size(); }
+
+  /// Queues one job. Jobs run exactly once, possibly concurrently with each
+  /// other, never concurrently with the caller after run() returns.
+  void add(std::function<R()> job) { tasks_.push_back(std::move(job)); }
+
+  /// Runs every queued job and returns their results in submission order.
+  /// The queue is consumed; the Sweep can be reused afterwards. The first
+  /// job exception (in submission order) is rethrown on the calling thread.
+  std::vector<R> run() {
+    std::vector<std::function<R()>> tasks = std::move(tasks_);
+    tasks_.clear();
+    std::vector<R> results(tasks.size());
+    if (jobs_ <= 1 || tasks.size() <= 1) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(tasks.size());
+    {
+      ThreadPool pool(static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(jobs_), tasks.size())));
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        pool.submit([&tasks, &results, &errors, i] {
+          try {
+            results[i] = tasks[i]();
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+ private:
+  int jobs_;
+  std::vector<std::function<R()>> tasks_;
+};
+
+/// One-shot convenience: sweep_run(jobs, n) — build the job list with a
+/// generator indexed 0..count-1. Equivalent to a for-loop when jobs == 1.
+template <typename F, typename R = std::invoke_result_t<F, std::size_t>>
+std::vector<R> sweep_run(int jobs, std::size_t count, F make) {
+  Sweep<R> sweep(jobs);
+  for (std::size_t i = 0; i < count; ++i) {
+    sweep.add([make, i] { return make(i); });
+  }
+  return sweep.run();
+}
+
+}  // namespace nampc

@@ -1,0 +1,56 @@
+// Fixed-size thread pool for the deterministic sweep engine.
+//
+// Deliberately minimal: a bounded set of worker threads draining one FIFO
+// queue. No work stealing, no priorities, no futures — determinism of sweep
+// results comes from the layer above (util/sweep.h), which gives every job
+// its own seeded state and merges results in submission order, so the pool
+// itself only needs to guarantee that every submitted job runs exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nampc {
+
+/// Fixed-size worker pool. submit() enqueues a job; wait_idle() blocks until
+/// every submitted job has finished. The destructor drains the queue and
+/// joins the workers.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a job. Jobs must not submit to the same pool from within
+  /// themselves (the sweep layer never does).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no worker is mid-job.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signalled when a job arrives / stop
+  std::condition_variable idle_cv_;  ///< signalled when a job completes
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of hardware threads, at least 1 (hardware_concurrency may be 0).
+[[nodiscard]] int hardware_threads();
+
+}  // namespace nampc

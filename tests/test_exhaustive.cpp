@@ -3,10 +3,16 @@
 // an honest and a corrupt dealer, and assert the sharing-stack invariants.
 // Small enough to be exhaustive, large enough to catch asymmetries that
 // fixed-corrupt-set tests miss (e.g. "last party corrupt" biases).
+//
+// Every (corrupt position, attack) cell is an independent simulation, so
+// each grid fans out through the sweep engine (--jobs / NAMPC_JOBS via
+// sweep_default_jobs). Jobs return plain result structs; the gtest
+// assertions run on the main thread in enumeration order.
 #include <gtest/gtest.h>
 
 #include "sharing/vss.h"
 #include "sim_helpers.h"
+#include "util/sweep.h"
 
 namespace nampc {
 namespace {
@@ -46,6 +52,81 @@ struct Enumerated {
   NetworkKind kind;
 };
 
+/// Pairwise consistency sample for the corrupt-dealer case: the common
+/// point the two row-holders hold for each other.
+struct PairRec {
+  int i = 0;
+  int j = 0;
+  Fp point_ij;
+  Fp point_ji;
+};
+
+/// Per-honest-party record for the honest-dealer case.
+struct ShareRec {
+  int id = 0;
+  bool rows = false;
+  Fp share;
+  Fp expected;
+  int revealed = 0;
+  bool revealed_in_z = false;
+};
+
+struct WssCell {
+  bool quiescent = false;
+  std::vector<PairRec> pairs;    ///< corrupt dealer (corrupt_id == 0)
+  std::vector<ShareRec> honest;  ///< honest dealer (corrupt_id != 0)
+};
+
+WssCell run_wss_cell(const Enumerated& e, int corrupt_id, Attack a) {
+  const PartySet corrupt = PartySet::of({corrupt_id});
+  auto sim = make_sim(
+      {.params = e.params,
+       .kind = e.kind,
+       .seed = 700 + static_cast<std::uint64_t>(corrupt_id) * 10 +
+               static_cast<std::uint64_t>(a)},
+      attacker(corrupt, a));
+  std::vector<Wss*> inst;
+  WssOptions opts;
+  for (int i = 0; i < e.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<Wss>("wss", 0, 0, opts, nullptr));
+  }
+  Rng rng(13);
+  const Polynomial q =
+      Polynomial::random_with_constant(Fp(111), e.params.ts, rng);
+  // Corrupt parties still run the code; dealer 0 may itself be corrupt.
+  inst[0]->start({q});
+  WssCell out;
+  out.quiescent = sim->run() == RunStatus::quiescent;
+  if (!out.quiescent) return out;
+
+  if (corrupt_id == 0) {
+    for (int i = 1; i < e.params.n; ++i) {
+      for (int j = i + 1; j < e.params.n; ++j) {
+        Wss* wi = inst[static_cast<std::size_t>(i)];
+        Wss* wj = inst[static_cast<std::size_t>(j)];
+        if (wi->outcome() != WssOutcome::rows ||
+            wj->outcome() != WssOutcome::rows) {
+          continue;
+        }
+        out.pairs.push_back({i, j, wi->point_for(0, j), wj->point_for(0, i)});
+      }
+    }
+  } else {
+    for (int i = 0; i < e.params.n; ++i) {
+      if (i == corrupt_id) continue;
+      Wss* w = inst[static_cast<std::size_t>(i)];
+      ShareRec rec;
+      rec.id = i;
+      rec.rows = w->outcome() == WssOutcome::rows;
+      if (rec.rows) rec.share = w->share(0);
+      rec.expected = q.eval(eval_point(i));
+      rec.revealed = w->revealed_parties().size();
+      out.honest.push_back(rec);
+    }
+  }
+  return out;
+}
+
 class ExhaustiveWss : public ::testing::TestWithParam<Enumerated> {};
 
 TEST_P(ExhaustiveWss, EveryCorruptPositionEveryAttack) {
@@ -53,54 +134,37 @@ TEST_P(ExhaustiveWss, EveryCorruptPositionEveryAttack) {
   const int budget =
       e.kind == NetworkKind::synchronous ? e.params.ts : e.params.ta;
   if (budget == 0) GTEST_SKIP();
+  const std::vector<Attack> attacks = {Attack::silent, Attack::garble,
+                                       Attack::delay_all};
+  Sweep<WssCell> sweep;
   for (int corrupt_id = 0; corrupt_id < e.params.n; ++corrupt_id) {
-    for (Attack a : {Attack::silent, Attack::garble, Attack::delay_all}) {
-      const PartySet corrupt = PartySet::of({corrupt_id});
-      auto sim = make_sim(
-          {.params = e.params,
-           .kind = e.kind,
-           .seed = 700 + static_cast<std::uint64_t>(corrupt_id) * 10 +
-                   static_cast<std::uint64_t>(a)},
-          attacker(corrupt, a));
-      std::vector<Wss*> inst;
-      WssOptions opts;
-      for (int i = 0; i < e.params.n; ++i) {
-        inst.push_back(&sim->party(i).spawn<Wss>("wss", 0, 0, opts, nullptr));
-      }
-      Rng rng(13);
-      const Polynomial q =
-          Polynomial::random_with_constant(Fp(111), e.params.ts, rng);
-      // Corrupt parties still run the code; dealer 0 may itself be corrupt.
-      inst[0]->start({q});
-      ASSERT_EQ(sim->run(), RunStatus::quiescent)
-          << "corrupt=" << corrupt_id << " attack=" << static_cast<int>(a);
+    for (Attack a : attacks) {
+      sweep.add([e, corrupt_id, a] { return run_wss_cell(e, corrupt_id, a); });
+    }
+  }
+  const std::vector<WssCell> cells = sweep.run();
 
+  std::size_t idx = 0;
+  for (int corrupt_id = 0; corrupt_id < e.params.n; ++corrupt_id) {
+    for (Attack a : attacks) {
+      const WssCell& cell = cells[idx++];
+      ASSERT_TRUE(cell.quiescent)
+          << "corrupt=" << corrupt_id << " attack=" << static_cast<int>(a);
       if (corrupt_id == 0) {
         // Corrupt dealer: weak commitment only — row-holders consistent.
-        for (int i = 1; i < e.params.n; ++i) {
-          for (int j = i + 1; j < e.params.n; ++j) {
-            Wss* wi = inst[static_cast<std::size_t>(i)];
-            Wss* wj = inst[static_cast<std::size_t>(j)];
-            if (wi->outcome() != WssOutcome::rows ||
-                wj->outcome() != WssOutcome::rows) {
-              continue;
-            }
-            EXPECT_EQ(wi->point_for(0, j), wj->point_for(0, i))
-                << "corrupt=0 attack=" << static_cast<int>(a) << " pair " << i
-                << "," << j;
-          }
+        for (const PairRec& pr : cell.pairs) {
+          EXPECT_EQ(pr.point_ij, pr.point_ji)
+              << "corrupt=0 attack=" << static_cast<int>(a) << " pair "
+              << pr.i << "," << pr.j;
         }
       } else {
         // Honest dealer: every honest party ends with the right share.
-        for (int i = 0; i < e.params.n; ++i) {
-          if (i == corrupt_id) continue;
-          Wss* w = inst[static_cast<std::size_t>(i)];
-          ASSERT_EQ(w->outcome(), WssOutcome::rows)
+        for (const ShareRec& rec : cell.honest) {
+          ASSERT_TRUE(rec.rows)
               << "corrupt=" << corrupt_id << " attack=" << static_cast<int>(a)
-              << " party=" << i;
-          EXPECT_EQ(w->share(0), q.eval(eval_point(i)));
-          EXPECT_LE(w->revealed_parties().size(),
-                    e.params.ts - e.params.ta);
+              << " party=" << rec.id;
+          EXPECT_EQ(rec.share, rec.expected);
+          EXPECT_LE(rec.revealed, e.params.ts - e.params.ta);
         }
       }
     }
@@ -113,6 +177,52 @@ INSTANTIATE_TEST_SUITE_P(
                       Enumerated{{5, 1, 1}, NetworkKind::synchronous},
                       Enumerated{{5, 1, 1}, NetworkKind::asynchronous}));
 
+struct VssCell {
+  bool quiescent = false;
+  bool checked = false;  ///< false for the silent-dealer position
+  std::vector<ShareRec> honest;
+};
+
+VssCell run_vss_cell(const Enumerated& e, int corrupt_id) {
+  const int zsize = e.params.ts - e.params.ta;
+  const PartySet corrupt = PartySet::of({corrupt_id});
+  // Z = the corrupt party when sizes allow, else lexicographic filler.
+  PartySet z;
+  if (zsize > 0) z.insert(corrupt_id);
+  for (int i = e.params.n - 1; i >= 0 && z.size() < zsize; --i) {
+    if (!z.contains(i)) z.insert(i);
+  }
+  auto sim = make_sim({.params = e.params,
+                       .kind = e.kind,
+                       .seed = 800 + static_cast<std::uint64_t>(corrupt_id)},
+                      attacker(corrupt, Attack::silent));
+  std::vector<Vss*> inst;
+  for (int i = 0; i < e.params.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<Vss>("vss", 0, 0, 1, z, nullptr));
+  }
+  Rng rng(14);
+  const Polynomial q =
+      Polynomial::random_with_constant(Fp(222), e.params.ts, rng);
+  inst[0]->start({q});
+  VssCell out;
+  out.quiescent = sim->run() == RunStatus::quiescent;
+  if (!out.quiescent) return out;
+  if (corrupt_id == 0) return out;  // silent dealer: nothing to check
+  out.checked = true;
+  for (int i = 0; i < e.params.n; ++i) {
+    if (i == corrupt_id) continue;
+    Vss* v = inst[static_cast<std::size_t>(i)];
+    ShareRec rec;
+    rec.id = i;
+    rec.rows = v->outcome() == WssOutcome::rows;
+    if (rec.rows) rec.share = v->share(0);
+    rec.expected = q.eval(eval_point(i));
+    rec.revealed_in_z = v->revealed_parties().subset_of(z);
+    out.honest.push_back(rec);
+  }
+  return out;
+}
+
 class ExhaustiveVss : public ::testing::TestWithParam<Enumerated> {};
 
 TEST_P(ExhaustiveVss, EveryCorruptPositionStrongCommitment) {
@@ -120,36 +230,18 @@ TEST_P(ExhaustiveVss, EveryCorruptPositionStrongCommitment) {
   const int budget =
       e.kind == NetworkKind::synchronous ? e.params.ts : e.params.ta;
   if (budget == 0) GTEST_SKIP();
-  const int zsize = e.params.ts - e.params.ta;
+  const std::vector<VssCell> cells = sweep_run(
+      sweep_default_jobs(), static_cast<std::size_t>(e.params.n),
+      [&e](std::size_t i) { return run_vss_cell(e, static_cast<int>(i)); });
   for (int corrupt_id = 0; corrupt_id < e.params.n; ++corrupt_id) {
-    const PartySet corrupt = PartySet::of({corrupt_id});
-    // Z = the corrupt party when sizes allow, else lexicographic filler.
-    PartySet z;
-    if (zsize > 0) z.insert(corrupt_id);
-    for (int i = e.params.n - 1; i >= 0 && z.size() < zsize; --i) {
-      if (!z.contains(i)) z.insert(i);
-    }
-    auto sim = make_sim({.params = e.params,
-                         .kind = e.kind,
-                         .seed = 800 + static_cast<std::uint64_t>(corrupt_id)},
-                        attacker(corrupt, Attack::silent));
-    std::vector<Vss*> inst;
-    for (int i = 0; i < e.params.n; ++i) {
-      inst.push_back(&sim->party(i).spawn<Vss>("vss", 0, 0, 1, z, nullptr));
-    }
-    Rng rng(14);
-    const Polynomial q =
-        Polynomial::random_with_constant(Fp(222), e.params.ts, rng);
-    inst[0]->start({q});
-    ASSERT_EQ(sim->run(), RunStatus::quiescent) << "corrupt=" << corrupt_id;
-    if (corrupt_id == 0) continue;  // silent dealer: nothing to check
-    for (int i = 0; i < e.params.n; ++i) {
-      if (i == corrupt_id) continue;
-      Vss* v = inst[static_cast<std::size_t>(i)];
-      ASSERT_EQ(v->outcome(), WssOutcome::rows)
-          << "corrupt=" << corrupt_id << " party=" << i;
-      EXPECT_EQ(v->share(0), q.eval(eval_point(i)));
-      EXPECT_TRUE(v->revealed_parties().subset_of(z));
+    const VssCell& cell = cells[static_cast<std::size_t>(corrupt_id)];
+    ASSERT_TRUE(cell.quiescent) << "corrupt=" << corrupt_id;
+    if (!cell.checked) continue;
+    for (const ShareRec& rec : cell.honest) {
+      ASSERT_TRUE(rec.rows)
+          << "corrupt=" << corrupt_id << " party=" << rec.id;
+      EXPECT_EQ(rec.share, rec.expected);
+      EXPECT_TRUE(rec.revealed_in_z);
     }
   }
 }

@@ -1,0 +1,314 @@
+// The sweep engine's determinism contract and the hot-path kernel caches.
+//
+// Three claims are locked down here:
+//  1. ThreadPool/Sweep mechanics: jobs all run, results merge in submission
+//     order, exceptions rethrow in submission order, --jobs parsing works.
+//  2. Serial == parallel: the same job list run with jobs=1 and jobs=4
+//     produces identical results — including a full BenchReport rendered to
+//     JSON, byte for byte. This is what makes `--jobs N` safe for the
+//     committed BENCH_*.json trajectory.
+//  3. Cached == uncached: the thread-local interpolation cache and the
+//     reusable Berlekamp-Welch workspace return bit-identical results to
+//     the reference implementations, on random and adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_util.h"
+#include "field/fp_batch.h"
+#include "poly/interp_cache.h"
+#include "rs/reed_solomon.h"
+#include "sharing/wss.h"
+#include "sim_helpers.h"
+#include "util/sweep.h"
+#include "util/thread_pool.h"
+
+namespace nampc {
+namespace {
+
+using testing::make_sim;
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+    // The pool is reusable after wait_idle.
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(SweepEngine, MergesResultsInSubmissionOrder) {
+  for (int jobs : {1, 2, 4, 8}) {
+    Sweep<int> sweep(jobs);
+    for (int i = 0; i < 64; ++i) {
+      sweep.add([i] { return i * i; });
+    }
+    const std::vector<int> out = sweep.run();
+    ASSERT_EQ(out.size(), 64u) << "jobs=" << jobs;
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(SweepEngine, RethrowsFirstExceptionInSubmissionOrder) {
+  for (int jobs : {1, 4}) {
+    Sweep<int> sweep(jobs);
+    sweep.add([] { return 0; });
+    sweep.add([]() -> int { throw std::runtime_error("second"); });
+    sweep.add([]() -> int { throw std::runtime_error("third"); });
+    try {
+      (void)sweep.run();
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "second");
+    }
+  }
+}
+
+TEST(SweepEngine, CliJobsParsing) {
+  auto jobs_of = [](std::vector<const char*> argv) {
+    return sweep_cli_jobs(static_cast<int>(argv.size()),
+                          const_cast<char**>(argv.data()));
+  };
+  EXPECT_EQ(jobs_of({"prog", "--jobs", "3"}), 3);
+  EXPECT_EQ(jobs_of({"prog", "--jobs=5"}), 5);
+  EXPECT_EQ(jobs_of({"prog", "-j", "2"}), 2);
+  EXPECT_EQ(jobs_of({"prog", "-j7"}), 7);
+  // Malformed / absent values fall back to the environment default.
+  EXPECT_EQ(jobs_of({"prog", "--jobs", "zero"}), sweep_default_jobs());
+  EXPECT_EQ(jobs_of({"prog"}), sweep_default_jobs());
+}
+
+/// One simulation cell of a miniature bench table: a WSS run whose metrics
+/// go into a BenchReport. Used to prove serial == parallel byte-for-byte.
+struct CellResult {
+  bool ok = false;
+  Time latest = -1;
+  std::uint64_t messages = 0;
+};
+
+CellResult run_cell(NetworkKind kind, std::uint64_t seed) {
+  const ProtocolParams p{4, 1, 0};
+  auto sim = make_sim({.params = p, .kind = kind, .seed = seed});
+  std::vector<Wss*> inst;
+  WssOptions opts;
+  for (int i = 0; i < p.n; ++i) {
+    inst.push_back(&sim->party(i).spawn<Wss>("wss", 0, 0, opts, nullptr));
+  }
+  Rng rng(seed);
+  inst[0]->start({Polynomial::random_with_constant(Fp(5), p.ts, rng)});
+  CellResult r;
+  r.ok = sim->run() == RunStatus::quiescent;
+  for (Wss* w : inst) {
+    if (w->outcome() == WssOutcome::rows) {
+      r.latest = std::max(r.latest, w->output_time());
+    } else {
+      r.ok = false;
+    }
+  }
+  r.messages = sim->metrics().messages_sent;
+  return r;
+}
+
+std::string render_report(int jobs) {
+  const std::vector<std::uint64_t> seeds = {21, 22, 23, 24, 25, 26};
+  Sweep<CellResult> sweep(jobs);
+  for (NetworkKind kind :
+       {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    for (std::uint64_t seed : seeds) {
+      sweep.add([kind, seed] { return run_cell(kind, seed); });
+    }
+  }
+  const std::vector<CellResult> cells = sweep.run();
+
+  bench::BenchReport report("parallel_determinism_probe");
+  bench::Table t({"network", "seed", "ok", "latest t", "messages"});
+  std::size_t idx = 0;
+  for (NetworkKind kind :
+       {NetworkKind::synchronous, NetworkKind::asynchronous}) {
+    for (std::uint64_t seed : seeds) {
+      const CellResult& r = cells[idx++];
+      t.row(kind == NetworkKind::synchronous ? "sync" : "async", seed,
+            r.ok ? "yes" : "NO", r.latest, r.messages);
+    }
+  }
+  report.add("probe", t);
+  std::ostringstream os;
+  report.write(os);
+  return os.str();
+}
+
+TEST(SweepEngine, SerialAndParallelReportsAreByteIdentical) {
+  const std::string serial = render_report(1);
+  EXPECT_NE(serial.find("\"schema\":\"nampc-bench/1\""), std::string::npos);
+  EXPECT_EQ(serial, render_report(2));
+  EXPECT_EQ(serial, render_report(4));
+  EXPECT_EQ(serial, render_report(hardware_threads()));
+}
+
+FpVec random_points(Rng& rng, std::size_t n) {
+  // Distinct x values: shuffle-free construction via offset + index.
+  FpVec xs;
+  const std::uint64_t base = rng.next_below(1u << 20);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(Fp(base + 3 * i + 1));
+  }
+  return xs;
+}
+
+TEST(KernelCache, CachedLagrangeMatchesReference) {
+  InterpCache::local().clear();
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 2 + rng.next_below(9);
+    const FpVec xs = random_points(rng, m);
+    const Fp at(rng.next_below(Fp::kPrime));
+    const FpVec reference = lagrange_coefficients(xs, at);
+    // Twice: first call populates, second must hit the cache.
+    EXPECT_EQ(lagrange_coefficients_cached(xs, at), reference);
+    EXPECT_EQ(lagrange_coefficients_cached(xs, at), reference);
+  }
+  EXPECT_GT(InterpCache::local().hits(), 0u);
+}
+
+TEST(KernelCache, CachedInterpolationMatchesReference) {
+  InterpCache::local().clear();
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 2 + rng.next_below(9);
+    const FpVec xs = random_points(rng, m);
+    FpVec ys;
+    for (std::size_t i = 0; i < m; ++i) ys.push_back(Fp(rng.next_below(Fp::kPrime)));
+    const Polynomial reference = Polynomial::interpolate(xs, ys);
+    EXPECT_EQ(interpolate_cached(xs, ys), reference);
+    EXPECT_EQ(interpolate_cached(xs, ys), reference);
+  }
+  EXPECT_GT(InterpCache::local().hits(), 0u);
+}
+
+TEST(KernelCache, CacheSurvivesManyPointSetsWithoutDanglingReferences) {
+  InterpCache::local().clear();
+  Rng rng(7);
+  // Push well past the trim threshold; every answer must stay correct.
+  for (int trial = 0; trial < 2200; ++trial) {
+    const FpVec xs = random_points(rng, 3);
+    const Fp at(rng.next_below(Fp::kPrime));
+    EXPECT_EQ(lagrange_coefficients_cached(xs, at),
+              lagrange_coefficients(xs, at));
+  }
+}
+
+TEST(KernelBatch, FpDotMatchesNaiveAccumulation) {
+  Rng rng(42);
+  for (std::size_t n : {0u, 1u, 62u, 63u, 64u, 200u}) {
+    FpVec a, b;
+    for (std::size_t i = 0; i < n; ++i) {
+      a.push_back(Fp(rng.next_below(Fp::kPrime)));
+      b.push_back(Fp(rng.next_below(Fp::kPrime)));
+    }
+    Fp naive(0);
+    for (std::size_t i = 0; i < n; ++i) naive += a[i] * b[i];
+    EXPECT_EQ(fp_dot(a, b), naive) << "n=" << n;
+  }
+}
+
+TEST(KernelBatch, PowersAndEvalMatchHorner) {
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_below(12);
+    FpVec coeffs;
+    for (std::size_t i = 0; i < n; ++i) {
+      coeffs.push_back(Fp(rng.next_below(Fp::kPrime)));
+    }
+    const Fp x(rng.next_below(Fp::kPrime));
+    FpVec powers(n);
+    fp_powers(x, powers.data(), n);
+    Fp horner(0);
+    for (std::size_t k = n; k-- > 0;) horner = horner * x + coeffs[k];
+    EXPECT_EQ(fp_eval_with_powers(coeffs.data(), powers.data(), n), horner);
+  }
+}
+
+/// Fresh-workspace reference decode: a brand-new RsDecoder per call, so no
+/// buffer reuse can leak between decodes.
+RsDecodeResult fresh_decode(const std::vector<RsPoint>& pts, int k, int e) {
+  RsDecoder decoder;
+  return decoder.decode(pts, k, e);
+}
+
+TEST(KernelCache, ReusedRsDecoderMatchesFreshDecoder) {
+  Rng rng(77);
+  RsDecoder& reused = RsDecoder::local();
+  // Interleave shapes (m, k, e) so the workspace is repeatedly resized up
+  // and down — exactly what a decode schedule does.
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 1 + static_cast<int>(rng.next_below(4));
+    const int e = static_cast<int>(rng.next_below(3));
+    const int m = k + 2 * e + 1 + static_cast<int>(rng.next_below(3));
+    const Polynomial f = Polynomial::random_with_constant(
+        Fp(rng.next_below(Fp::kPrime)), k, rng);
+    std::vector<RsPoint> pts;
+    for (int i = 1; i <= m; ++i) {
+      const Fp x(static_cast<std::uint64_t>(i));
+      pts.push_back({x, f.eval(x)});
+    }
+    // Corrupt a rotating set of positions: sometimes <= e (correctable),
+    // sometimes more (must detect) — both paths exercise the workspace.
+    const int errors = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(e + 2)));
+    for (int i = 0; i < errors; ++i) {
+      const std::size_t at = (static_cast<std::size_t>(trial) + 2 * static_cast<std::size_t>(i)) % pts.size();
+      pts[at].y += Fp(1 + static_cast<std::uint64_t>(i));
+    }
+    const RsDecodeResult a = reused.decode(pts, k, e);
+    const RsDecodeResult b = fresh_decode(pts, k, e);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    EXPECT_EQ(a.distance, b.distance);
+    if (a.status == RsStatus::ok) {
+      EXPECT_EQ(a.poly, b.poly);
+    }
+  }
+}
+
+TEST(KernelCache, ScheduledDecodeAgreesAcrossAdversarialCodewords) {
+  // The Corollary 3.3/3.4 schedule through the shared thread-local decoder
+  // must agree with fresh decoding on garbled codewords too.
+  Rng rng(177);
+  const int ts = 2, ta = 1;
+  for (int x = 0; x <= ts; ++x) {
+    const int m = ts + ta + 1 + x;
+    const int e = x <= ta ? x : ta;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Polynomial f = Polynomial::random_with_constant(
+          Fp(rng.next_below(Fp::kPrime)), ts, rng);
+      std::vector<RsPoint> pts;
+      for (int i = 1; i <= m; ++i) {
+        const Fp xx(static_cast<std::uint64_t>(i));
+        Fp y = f.eval(xx);
+        if (i <= trial % (e + 2)) y += Fp(static_cast<std::uint64_t>(7 * i));
+        pts.push_back({xx, y});
+      }
+      const ScheduledDecode sched = rs_decode_scheduled(pts, ts, ta);
+      const RsDecodeResult ref = fresh_decode(pts, ts, sched.e);
+      ASSERT_EQ(sched.result.status, ref.status) << "x=" << x;
+      if (ref.status == RsStatus::ok) {
+        EXPECT_EQ(sched.result.poly, ref.poly);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nampc
