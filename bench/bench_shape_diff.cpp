@@ -1,8 +1,8 @@
 // bench_shape_diff — CI gate for the committed BENCH_*.json trajectory.
 //
-// Compares two "nampc-bench/1" files by SHAPE, not by cell values: schema
-// string, report name, note keys, section count, per-section titles, table
-// headers and row counts must match; the cells themselves (which would
+// Compares two "nampc-bench/2" files by SHAPE, not by cell values: schema
+// string, report name, note keys, monitor keys, section count, per-section
+// titles, table headers and row counts must match; the cells themselves (which would
 // carry timings if a regenerator ever grew wall-clock columns) are ignored.
 // The bench-smoke CI job regenerates every table and runs this against the
 // committed copy — a schema/shape drift fails the build, a timing change
@@ -198,6 +198,7 @@ struct Shape {
   std::string schema;
   std::string name;
   std::vector<std::string> note_keys;
+  std::vector<std::string> monitor_keys;  // "nampc-bench/2" monitors section
   struct Section {
     std::string title;
     std::vector<std::string> headers;
@@ -223,6 +224,12 @@ bool extract(const JsonValue& root, Shape& shape, std::string& error) {
     for (const auto& [k, v] : notes->members) {
       (void)v;
       shape.note_keys.push_back(k);
+    }
+  }
+  if (const JsonValue* monitors = root.find("monitors")) {
+    for (const auto& [k, v] : monitors->members) {
+      (void)v;
+      shape.monitor_keys.push_back(k);
     }
   }
   const JsonValue* sections = root.find("sections");
@@ -306,6 +313,9 @@ int main(int argc, char** argv) {
   if (a.name != b.name) drift("name", a.name, b.name);
   if (a.note_keys != b.note_keys) {
     drift("note keys", join(a.note_keys), join(b.note_keys));
+  }
+  if (a.monitor_keys != b.monitor_keys) {
+    drift("monitor keys", join(a.monitor_keys), join(b.monitor_keys));
   }
   if (a.sections.size() != b.sections.size()) {
     drift("section count", std::to_string(a.sections.size()),

@@ -1,6 +1,10 @@
-// Small table-printing helpers shared by the experiment regenerators.
+// Small table-printing helpers shared by the experiment regenerators, plus
+// the monitor plumbing that attaches the invariant-monitor catalogue to
+// every benchmark simulation (schema "nampc-bench/2" reports carry the
+// aggregate monitor verdict).
 #pragma once
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -10,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "net/simulation.h"
+#include "obs/monitor.h"
 #include "util/json.h"
 
 namespace nampc::bench {
@@ -88,10 +94,48 @@ inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
 
+/// Aggregate monitor verdict across every simulation a regenerator ran.
+/// Atomic because grid cells fan out through the sweep engine's worker
+/// threads; each MonitoredRun folds its counts in on destruction.
+struct MonitorTally {
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> violations{0};
+};
+
+/// RAII: attaches a fresh standard-catalogue MonitorEngine to `sim` for the
+/// lifetime of one benchmark cell, then detaches and folds the counts into
+/// the shared tally. Violations also print to stderr via the engine's own
+/// logging, so a red invariant is visible even in table output.
+class MonitoredRun {
+ public:
+  MonitoredRun(Simulation& sim, MonitorTally& tally) : sim_(sim), tally_(tally) {
+    obs::install_standard_monitors(engine_);
+    sim_.set_monitors(&engine_);
+  }
+  MonitoredRun(const MonitoredRun&) = delete;
+  MonitoredRun& operator=(const MonitoredRun&) = delete;
+  ~MonitoredRun() {
+    sim_.set_monitors(nullptr);
+    tally_.events += engine_.events_seen();
+    tally_.violations += engine_.violations().size();
+  }
+
+  [[nodiscard]] const obs::MonitorEngine& engine() const { return engine_; }
+
+ private:
+  obs::MonitorEngine engine_;
+  Simulation& sim_;
+  MonitorTally& tally_;
+};
+
 /// Machine-readable mirror of a regenerator's text output (schema
-/// "nampc-bench/1"). Collect every printed table under its banner title,
+/// "nampc-bench/2"). Collect every printed table under its banner title,
 /// then save() writes BENCH_<name>.json into $NAMPC_BENCH_JSON_DIR (default:
 /// current directory) — these files are committed as a perf trajectory.
+/// v2 adds the "monitors" section: how many protocol events the invariant
+/// monitors observed across the regenerator's simulations and how many
+/// violations they recorded (0 on a healthy run; analytic regenerators that
+/// run no simulations report 0 events).
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
@@ -104,13 +148,22 @@ class BenchReport {
     sections_.emplace_back(title, table);
   }
 
+  void set_monitors(const MonitorTally& tally) {
+    monitor_events_ = tally.events.load();
+    monitor_violations_ = tally.violations.load();
+  }
+
   void write(std::ostream& os) const {
     JsonWriter j(os);
     j.begin_object();
-    j.kv("schema", "nampc-bench/1");
+    j.kv("schema", "nampc-bench/2");
     j.kv("name", name_);
     j.key("notes").begin_object();
     for (const auto& [k, v] : notes_) j.kv(k, v);
+    j.end_object();
+    j.key("monitors").begin_object();
+    j.kv("events", monitor_events_);
+    j.kv("violations", monitor_violations_);
     j.end_object();
     j.key("sections").begin_array();
     for (const auto& [title, table] : sections_) {
@@ -144,6 +197,8 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<std::pair<std::string, Table>> sections_;
+  std::uint64_t monitor_events_ = 0;
+  std::uint64_t monitor_violations_ = 0;
 };
 
 }  // namespace nampc::bench

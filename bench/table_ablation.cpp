@@ -24,6 +24,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 struct Stats {
   std::uint64_t messages = 0;
   std::uint64_t words = 0;
@@ -40,6 +43,7 @@ Stats run_wss(ProtocolParams p, int num_secrets, int instances, bool ideal,
   cfg.delta = delta;
   cfg.ideal_primitives = ideal;
   Simulation sim(cfg, std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   Rng rng(9);
   std::vector<std::vector<Wss*>> all(static_cast<std::size_t>(instances));
   for (int inst = 0; inst < instances; ++inst) {
@@ -83,6 +87,7 @@ CoinRun run_coin(bool local, std::uint64_t seed) {
   cfg.seed = seed;
   cfg.local_coins = local;
   Simulation sim(cfg, std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Ba*> inst;
   for (int i = 0; i < 7; ++i) {
     inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
@@ -230,6 +235,7 @@ int main(int argc, char** argv) {
   std::cout << "(local coins: almost-surely terminating — more rounds, same "
                "agreement; the ideal coin models the coin-tossing "
                "subprotocols of [24, 6])\n";
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

@@ -15,6 +15,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 Circuit make_circuit(int n, int mults) {
   // Chain of multiplications over the input sum: depth grows with size.
   Circuit c;
@@ -58,6 +61,7 @@ Result run(ProtocolParams p, NetworkKind kind, int mults,
   }
 
   Simulation sim(cfg, adv);
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::map<int, FpVec> inputs;
   std::vector<Mpc*> nodes;
   for (int i = 0; i < p.n; ++i) {
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
     t.print();
     report.add(title, t);
   }
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

@@ -17,6 +17,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 Simulation::Config config(ProtocolParams p, NetworkKind kind,
                           std::uint64_t seed) {
   Simulation::Config cfg;
@@ -35,6 +38,7 @@ struct Row {
 
 Row run_acast(ProtocolParams p, NetworkKind kind) {
   Simulation sim(config(p, kind, 11), std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Acast*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Acast>("a", 0, nullptr));
@@ -53,6 +57,7 @@ Row run_acast(ProtocolParams p, NetworkKind kind) {
 
 Row run_bc(ProtocolParams p, NetworkKind kind) {
   Simulation sim(config(p, kind, 12), std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Bc*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Bc>("b", 0, 0, nullptr));
@@ -72,6 +77,7 @@ Row run_bc(ProtocolParams p, NetworkKind kind) {
 
 Row run_ba(ProtocolParams p, NetworkKind kind, bool mixed) {
   Simulation sim(config(p, kind, 13), std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Ba*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
@@ -97,6 +103,7 @@ Row run_ba(ProtocolParams p, NetworkKind kind, bool mixed) {
 
 Row run_acs(ProtocolParams p, NetworkKind kind) {
   Simulation sim(config(p, kind, 14), std::make_shared<Adversary>());
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Acs*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Acs>("acs", 0, nullptr));
@@ -192,6 +199,7 @@ int main(int argc, char** argv) {
     t.print();
     report.add(title, t);
   }
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

@@ -14,6 +14,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 struct Result {
   int holders = 0;
   int empty = 0;
@@ -56,6 +59,7 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
   }
 
   Simulation sim(cfg, adv);
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Vss*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Vss>("vss", 0, 0, 1, z, nullptr));
@@ -150,6 +154,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "(cheating-dealer rows: all-or-none outputs are both valid "
                "per strong commitment)\n";
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

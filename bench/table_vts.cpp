@@ -16,6 +16,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 struct Result {
   int with_triples = 0;
   int discarded = 0;
@@ -46,6 +49,7 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
   }
 
   Simulation sim(cfg, adv);
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Vts*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Vts>("vts", 0, 0, 2, z, nullptr));
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
   std::cout << "(bad-dealer rows: 'discarded'/'none' outcomes are the "
                "correct behaviour; 'c==a*b: yes' confirms no bad triple "
                "was ever accepted)\n";
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

@@ -15,6 +15,9 @@ using namespace nampc;
 
 namespace {
 
+/// Aggregate invariant-monitor verdict across every grid cell.
+bench::MonitorTally g_monitors;
+
 struct Result {
   int with_rows = 0;
   int with_bot = 0;
@@ -47,6 +50,7 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
   }
 
   Simulation sim(cfg, adv);
+  bench::MonitoredRun mon_guard(sim, g_monitors);
   std::vector<Wss*> inst;
   WssOptions opts;
   for (int i = 0; i < p.n; ++i) {
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
     t.print();
     report.add(title, t);
   }
+  report.set_monitors(g_monitors);
   report.save();
   return 0;
 }

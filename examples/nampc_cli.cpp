@@ -16,12 +16,17 @@
 //   observability:
 //     --trace FILE               write a Chrome trace_event / Perfetto
 //                                JSON trace of the run (virtual time)
+//     --rawtrace FILE            write an analysable trace (schema
+//                                nampc-trace/1) for the nampc_trace CLI
 //     --report FILE              write a machine-readable run report
-//                                (schema nampc-run-report/1); "-" = stdout
+//                                (schema nampc-run-report/2); "-" = stdout
 //     --log-level LVL            off|error|info|debug|trace (default error)
 //     --log-json                 emit logs as JSON lines on stderr
 //     --log-ring N               keep the last N log events (trace level)
 //                                and dump them on invariant failure
+//
+// Every run attaches the standard invariant monitors (acast/bc/agreement/
+// sharing/acs/mpc/privacy); violations are printed and fail the run.
 //
 // Prints per-party outcomes, timing vs the paper's T_* bound, and the
 // run's message/event metrics. Exit code 0 iff all protocol guarantees
@@ -32,6 +37,8 @@
 #include <string>
 
 #include "core/nampc.h"
+#include "obs/analysis.h"
+#include "obs/monitor.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 
@@ -49,6 +56,7 @@ struct Options {
   std::string adversary = "none";
   int secrets = 1;
   std::string trace_file;
+  std::string rawtrace_file;
   std::string report_file;
   std::string log_level;
   bool log_json = false;
@@ -86,6 +94,7 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--ideal") o.ideal = true;
     else if (a == "--adversary" && i + 1 < argc) o.adversary = argv[++i];
     else if (a == "--trace" && i + 1 < argc) o.trace_file = argv[++i];
+    else if (a == "--rawtrace" && i + 1 < argc) o.rawtrace_file = argv[++i];
     else if (a == "--report" && i + 1 < argc) o.report_file = argv[++i];
     else if (a == "--log-level" && i + 1 < argc) o.log_level = argv[++i];
     else if (a == "--log-json") o.log_json = true;
@@ -139,11 +148,16 @@ int run(const Options& o) {
 
   auto adv = build_adversary(o);
   const PartySet corrupt = adv->corrupt_set();
-  // The tracer must outlive the Simulation: spans close in instance dtors.
+  // Tracer and monitors must outlive the Simulation: spans close in
+  // instance dtors.
   obs::Tracer tracer;
-  const bool want_obs = !o.trace_file.empty() || !o.report_file.empty();
+  obs::MonitorEngine monitors;
+  obs::install_standard_monitors(monitors);
+  const bool want_obs = !o.trace_file.empty() || !o.rawtrace_file.empty() ||
+                        !o.report_file.empty();
   Simulation sim(cfg, adv);
   if (want_obs) sim.set_tracer(&tracer);
+  sim.set_monitors(&monitors);
   const Timing& tm = sim.timing();
   Rng rng(o.seed ^ 0xc11);
   const int n = o.params.n;
@@ -332,6 +346,15 @@ int run(const Options& o) {
             << " events=" << sim.metrics().events_processed
             << " rs_decodes=" << sim.metrics().rs_decodes << "\n";
 
+  std::cout << "monitors: events=" << monitors.events_seen()
+            << " violations=" << monitors.violations().size() << "\n";
+  for (const obs::Violation& v : monitors.violations()) {
+    std::cout << "  VIOLATION [" << v.monitor << "] " << v.kind << " "
+              << v.key << " parties=" << v.parties.str() << " t=" << v.time
+              << ": " << v.detail << "\n";
+  }
+  ok = ok && monitors.ok();
+
   if (!o.trace_file.empty()) {
     std::ofstream out(o.trace_file);
     if (!out) {
@@ -341,6 +364,15 @@ int run(const Options& o) {
     tracer.write_chrome_trace(out);
     std::cout << "trace: " << o.trace_file << " (" << tracer.spans().size()
               << " spans, " << tracer.flows().size() << " flows)\n";
+  }
+  if (!o.rawtrace_file.empty()) {
+    std::ofstream out(o.rawtrace_file);
+    if (!out) {
+      std::cerr << "cannot open rawtrace file: " << o.rawtrace_file << "\n";
+      return 2;
+    }
+    obs::write_trace(out, obs::collect_trace(tracer, sim, status));
+    std::cout << "rawtrace: " << o.rawtrace_file << "\n";
   }
   if (!o.report_file.empty()) {
     if (o.report_file == "-") {
@@ -369,8 +401,8 @@ int main(int argc, char** argv) {
         << "usage: nampc_cli <wss|vss|vts|ba|acs|mpc> [--n N --ts T --ta T] "
            "[--async] [--seed S] [--delta D] [--ideal] "
            "[--adversary silent|garble] [--secrets L] "
-           "[--trace FILE] [--report FILE|-] [--log-level LVL] "
-           "[--log-json] [--log-ring N]\n";
+           "[--trace FILE] [--rawtrace FILE] [--report FILE|-] "
+           "[--log-level LVL] [--log-json] [--log-ring N]\n";
     return 2;
   }
   try {

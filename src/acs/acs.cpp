@@ -13,6 +13,7 @@ AcsCore::AcsCore(Party& party, std::string key, Time nominal_start,
   NAMPC_REQUIRE(num_slots >= 1 && num_slots <= 64, "bad slot count");
   NAMPC_REQUIRE(quorum >= 1 && quorum <= num_slots, "bad quorum");
   span_kind("acs");
+  span_nominal(nominal_start_);
   bas_.reserve(static_cast<std::size_t>(num_slots));
   for (int j = 0; j < num_slots; ++j) {
     bas_.push_back(&make_child<Ba>("slot" + std::to_string(j), nominal_start_,
@@ -71,6 +72,11 @@ void AcsCore::maybe_finish() {
   NAMPC_ASSERT(com.size() >= quorum_, "acs concluded below quorum");
   output_ = com;
   span_done();
+  {
+    Writer w;
+    w.u64(com.mask()).u64(static_cast<std::uint64_t>(quorum_));
+    notify_output(std::move(w).take());
+  }
   if (on_output_) on_output_(com);
 }
 

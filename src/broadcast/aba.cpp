@@ -40,6 +40,7 @@ void Aba::start(bool input) {
   NAMPC_REQUIRE(!started_, "aba started twice");
   started_ = true;
   value_ = input;
+  notify_input(Words{input ? 1ull : 0ull});
 
   if (sim().config().ideal_primitives) {
     auto& gadget = sim().shared_state<IdealAbaGadget>(
@@ -50,6 +51,7 @@ void Aba::start(bool input) {
            if (!decided_.has_value()) {
              decided_ = v;
              span_done();
+             notify_output(Words{v ? 1ull : 0ull});
              if (on_output_) on_output_(v);
            }
          }});
@@ -160,6 +162,7 @@ void Aba::try_advance() {
           decided_ = w;
           decided_round_ = round_;
           span_done();
+          notify_output(Words{w ? 1ull : 0ull});
           if (on_output_) on_output_(w);
         }
       } else if (ones >= t_plus_1) {

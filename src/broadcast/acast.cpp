@@ -13,6 +13,7 @@ Acast::Acast(Party& party, std::string key, PartyId sender, OutputFn on_output)
 
 void Acast::start(Words message) {
   NAMPC_REQUIRE(my_id() == sender_, "only the sender starts an Acast");
+  notify_input(message);
   send_all(kInit, message);
 }
 
@@ -63,6 +64,7 @@ void Acast::maybe_output(const Words& m) {
   output_ = m;
   output_time_ = now();
   span_done();
+  notify_output(m);
   if (on_output_) on_output_(*output_);
 }
 

@@ -12,8 +12,10 @@ Ba::Ba(Party& party, std::string key, Time nominal_start, OutputFn on_output)
                                    nullptr));
   }
   span_kind("ba");
+  span_nominal(nominal_start_);
   aba_ = &make_child<Aba>("aba", [this](bool v) {
     span_done();
+    notify_output(Words{v ? 1ull : 0ull});
     if (on_output_) on_output_(v);
   });
   // Join the ABA once the BC layer has concluded AND this party has joined
@@ -29,6 +31,7 @@ void Ba::start(bool input) {
   NAMPC_REQUIRE(!started_, "ba started twice");
   started_ = true;
   input_ = input;
+  notify_input(Words{input ? 1ull : 0ull});
   Writer w;
   w.boolean(input);
   bcs_[static_cast<std::size_t>(my_id())]->start(std::move(w).take());

@@ -2,6 +2,16 @@
 
 namespace nampc {
 
+namespace {
+// Monitor payload: phase tag (0 regular / 1 fallback), then the optional
+// output value — see BcMonitor in obs/monitor.cpp.
+Words bc_event(std::uint64_t phase, const std::optional<Words>& value) {
+  Writer w;
+  w.u64(phase).boolean(value.has_value()).vec(value.value_or(Words{}));
+  return std::move(w).take();
+}
+}  // namespace
+
 Bc::Bc(Party& party, std::string key, PartyId sender, Time nominal_start,
        OutputFn on_output)
     : ProtocolInstance(party, std::move(key)),
@@ -10,6 +20,7 @@ Bc::Bc(Party& party, std::string key, PartyId sender, Time nominal_start,
       on_output_(std::move(on_output)) {
   metrics().bc_instances++;
   span_kind("bc");
+  span_nominal(nominal_start_);
   acast_ = &make_child<Acast>("acast", sender_,
                               [this](const Words&) { on_acast_output(); });
   sba_ = &make_child<Sba>("sba", nullptr);
@@ -19,6 +30,7 @@ Bc::Bc(Party& party, std::string key, PartyId sender, Time nominal_start,
 
 void Bc::start(Words message) {
   NAMPC_REQUIRE(my_id() == sender_, "only the sender starts a Bc");
+  notify_input(message);
   acast_->start(std::move(message));
 }
 
@@ -52,6 +64,7 @@ void Bc::at_regular_output() {
     current_ = regular_output_;
     value_time_ = now();
   }
+  notify_output(bc_event(0, regular_output_));
   if (on_output_) on_output_(regular_output_, BcPhase::regular);
   if (!regular_output_.has_value() && acast_->has_output()) {
     // Acast finished before the regular deadline but disagreed with SBA ⊥ —
@@ -67,6 +80,7 @@ void Bc::on_acast_output() {
   current_ = acast_->output();
   value_time_ = now();
   phase("fallback");
+  notify_output(bc_event(1, current_));
   if (on_output_) on_output_(current_, BcPhase::fallback);
 }
 

@@ -74,6 +74,7 @@ void Sba::start(SbaValue input) {
   started_ = true;
   start_time_ = now();
   value_ = std::move(input);
+  notify_input(encode_value(value_));
 
   if (sim().config().ideal_primitives) {
     auto& gadget = sim().shared_state<IdealSbaGadget>(
@@ -179,6 +180,7 @@ void Sba::finish() {
   if (done_) return;
   done_ = true;
   span_done();
+  notify_output(encode_value(output_));
   if (on_output_) on_output_(output_);
 }
 

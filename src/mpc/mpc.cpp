@@ -4,6 +4,19 @@
 
 namespace nampc {
 
+namespace {
+// Monitor payload: (known, value) per circuit output — private outputs are
+// known only to their owner, so MpcMonitor compares just the overlap.
+Words mpc_output_event(const std::vector<bool>& known, const FpVec& values) {
+  Writer w;
+  w.u64(values.size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    w.boolean(k < known.size() && known[k]).u64(values[k].value());
+  }
+  return std::move(w).take();
+}
+}  // namespace
+
 Mpc::Mpc(Party& party, std::string key, const Circuit& circuit,
          FpVec my_inputs, OutputFn on_output)
     : ProtocolInstance(party, std::move(key)),
@@ -256,6 +269,7 @@ void Mpc::finish_outputs() {
     output_ = FpVec{};
     output_time_ = now();
     span_done();
+    notify_output(mpc_output_event(output_known_, output_values_));
     if (on_output_) on_output_(*output_);
     return;
   }
@@ -291,6 +305,7 @@ void Mpc::finish_outputs() {
     output_ = output_values_;
     output_time_ = now();
     span_done();
+    notify_output(mpc_output_event(output_known_, output_values_));
     if (on_output_) on_output_(*output_);
   }
   if (!public_idx.empty()) {
@@ -322,6 +337,7 @@ void Mpc::on_output_part(const std::vector<int>& indices,
   output_ = output_values_;
   output_time_ = now();
   span_done();
+  notify_output(mpc_output_event(output_known_, output_values_));
   if (on_output_) on_output_(*output_);
 }
 

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/monitor.h"
 #include "obs/tracer.h"
 
 namespace nampc {
@@ -33,6 +34,11 @@ Simulation::~Simulation() {
   // Drop pending events (which may capture instance pointers) before the
   // parties that own those instances.
   while (!queue_.empty()) queue_.pop();
+}
+
+void Simulation::set_monitors(obs::MonitorEngine* monitors) {
+  monitors_ = monitors;
+  if (monitors_ != nullptr) monitors_->bind(*this);
 }
 
 Party& Simulation::party(PartyId id) {
@@ -68,7 +74,8 @@ void Simulation::post_message(Message msg) {
   // Self-delivery bypasses the network (a party talking to itself).
   if (msg.from == msg.to) {
     if (tracer_) {
-      tracer_->on_flow(msg.from, msg.to, msg.payload.size(), now_, now_);
+      tracer_->on_flow(msg.from, msg.to, msg.payload.size(), now_, now_,
+                       msg.instance);
     }
     const PartyId to = msg.to;
     schedule(now_, [this, to, m = std::move(msg)] { party(to).deliver(m); },
@@ -114,7 +121,7 @@ void Simulation::post_message(Message msg) {
 
   if (tracer_) {
     tracer_->on_flow(final_msg.from, final_msg.to, final_msg.payload.size(),
-                     now_, arrival);
+                     now_, arrival, final_msg.instance);
   }
   const PartyId to = final_msg.to;
   schedule(
@@ -144,6 +151,10 @@ RunStatus Simulation::run() {
     metrics_.events_processed++;
     fn();
   }
+  // Monitors first: a quiescence violation should be recorded (and
+  // reported to whoever reads the engine) even when the privacy-audit
+  // assert below is about to abort the run.
+  if (monitors_ != nullptr) monitors_->at_quiescence(*this);
   if (config_.privacy_audit && !config_.allow_infeasible) audit_privacy();
   return RunStatus::quiescent;
 }
@@ -241,6 +252,10 @@ void ProtocolInstance::span_kind(const char* kind) {
   if (auto* tracer = sim().tracer()) tracer->set_kind(my_id(), key_, kind_);
 }
 
+void ProtocolInstance::span_nominal(Time t) {
+  if (auto* tracer = sim().tracer()) tracer->set_nominal(my_id(), key_, t);
+}
+
 void ProtocolInstance::phase(const std::string& name) {
   if (auto* tracer = sim().tracer()) {
     tracer->phase(my_id(), key_, name, now());
@@ -249,6 +264,20 @@ void ProtocolInstance::phase(const std::string& name) {
 
 void ProtocolInstance::span_done() {
   if (auto* tracer = sim().tracer()) tracer->mark_done(my_id(), key_, now());
+}
+
+void ProtocolInstance::notify_input(Words value) {
+  if (auto* monitors = sim().monitors()) {
+    monitors->on_event({/*input=*/true, kind_, key_, my_id(),
+                        !party_.corrupt(), now(), std::move(value)});
+  }
+}
+
+void ProtocolInstance::notify_output(Words value) {
+  if (auto* monitors = sim().monitors()) {
+    monitors->on_event({/*input=*/false, kind_, key_, my_id(),
+                        !party_.corrupt(), now(), std::move(value)});
+  }
 }
 
 void ProtocolInstance::at(Time t, std::function<void()> fn, int klass) {

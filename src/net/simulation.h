@@ -32,6 +32,7 @@ namespace nampc {
 
 namespace obs {
 class Tracer;
+class MonitorEngine;
 }
 
 class Party;
@@ -98,6 +99,7 @@ class Simulation {
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Adversary& adversary() { return *adversary_; }
+  [[nodiscard]] const Adversary& adversary() const { return *adversary_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Attaches (or detaches, with nullptr) an observability tracer. The
@@ -106,6 +108,14 @@ class Simulation {
   /// hook site is a single null-pointer check.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Attaches (or detaches, with nullptr) an online invariant-monitor
+  /// engine. Like the tracer it is not owned and must outlive this
+  /// Simulation; attaching captures the run context (params, network kind,
+  /// corrupt set) via MonitorEngine::bind. With none attached every
+  /// protocol notify site is a single null-pointer check.
+  void set_monitors(obs::MonitorEngine* monitors);
+  [[nodiscard]] obs::MonitorEngine* monitors() const { return monitors_; }
 
   [[nodiscard]] Party& party(PartyId id);
   [[nodiscard]] int n() const { return config_.params.n; }
@@ -164,6 +174,7 @@ class Simulation {
   Timing timing_;
   std::shared_ptr<Adversary> adversary_;
   obs::Tracer* tracer_ = nullptr;
+  obs::MonitorEngine* monitors_ = nullptr;
   Metrics metrics_;
   Rng rng_;
   Time now_ = 0;
@@ -264,11 +275,24 @@ class ProtocolInstance {
   /// ...). Call once from the constructor; also sets the log module used
   /// by NAMPC_PLOG and Log per-module level filters.
   void span_kind(const char* kind);
+
+  /// Records the protocol's nominal start time on the span (composed
+  /// primitives are constructed up front, so begin alone overstates
+  /// latency). Call in the constructor next to span_kind.
+  void span_nominal(Time t);
   /// Records a named phase transition on this instance's span.
   void phase(const std::string& name);
   /// Marks the virtual time this protocol delivered its output (first call
   /// wins); the span's latency statistic is done - spawn.
   void span_done();
+
+  /// Reports a protocol-level event to the attached monitor engine (no-op
+  /// without one). `value` is this kind's canonical payload encoding — see
+  /// the monitor catalogue in obs/monitor.cpp. notify_input is called where
+  /// a party submits its protocol input, notify_output where the protocol
+  /// delivers output (next to span_done).
+  void notify_input(Words value);
+  void notify_output(Words value);
 
  public:
   /// Context-carrying log line for NAMPC_PLOG (public so lambdas capturing

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/analysis.h"
+#include "obs/monitor.h"
 #include "util/json.h"
 
 namespace nampc::obs {
@@ -17,10 +19,11 @@ Time nearest_rank(const std::vector<Time>& sorted, double q) {
 
 }  // namespace
 
-std::map<std::string, LatencyStats> latency_by_kind(const Tracer& tracer) {
+std::map<std::string, LatencyStats> latency_by_kind(
+    const std::vector<TraceSpan>& spans) {
   std::map<std::string, std::vector<Time>> latencies;
   std::map<std::string, LatencyStats> stats;
-  for (const TraceSpan& s : tracer.spans()) {
+  for (const TraceSpan& s : spans) {
     // A span counts under every tag it carried so the per-kind counts
     // mirror the layered Metrics counters (a Vss span is also a Wss span).
     std::vector<std::string> kinds = s.kinds;
@@ -28,9 +31,11 @@ std::map<std::string, LatencyStats> latency_by_kind(const Tracer& tracer) {
     for (const std::string& kind : kinds) {
       LatencyStats& st = stats[kind];
       st.count++;
+      st.messages += s.messages_sent;
+      st.words += s.words_sent;
       if (s.done >= 0) {
         st.done++;
-        latencies[kind].push_back(s.done - s.begin);
+        latencies[kind].push_back(s.done - span_start(s));
       }
     }
   }
@@ -39,6 +44,7 @@ std::map<std::string, LatencyStats> latency_by_kind(const Tracer& tracer) {
     LatencyStats& st = stats[kind];
     st.p50 = nearest_rank(lats, 0.50);
     st.p90 = nearest_rank(lats, 0.90);
+    st.p99 = nearest_rank(lats, 0.99);
     st.max = lats.back();
   }
   return stats;
@@ -52,7 +58,7 @@ void write_run_report(std::ostream& os, const Simulation& sim,
 
   JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "nampc-run-report/1");
+  w.kv("schema", "nampc-run-report/2");
 
   w.key("config").begin_object();
   w.kv("n", cfg.params.n).kv("ts", cfg.params.ts).kv("ta", cfg.params.ta);
@@ -110,6 +116,32 @@ void write_run_report(std::ostream& os, const Simulation& sim,
   w.kv("t_acs", static_cast<std::int64_t>(tm.t_acs));
   w.end_object();
 
+  // Monitor verdicts (schema v2): attached monitors, events observed, and
+  // every recorded Violation — so a saved report is a self-contained
+  // pass/fail record of the paper's invariants for this run.
+  if (const MonitorEngine* mon = sim.monitors()) {
+    w.key("monitors").begin_object();
+    w.kv("attached", static_cast<std::uint64_t>(mon->monitors().size()));
+    w.kv("events", mon->events_seen());
+    w.kv("ok", mon->ok());
+    w.key("checks").begin_object();
+    for (const auto& [name, checks] : mon->checks_by_monitor()) {
+      w.kv(name, checks);
+    }
+    w.end_object();
+    w.key("violations").begin_array();
+    for (const Violation& v : mon->violations()) {
+      w.begin_object();
+      w.kv("monitor", v.monitor).kv("kind", v.kind).kv("key", v.key);
+      w.kv("parties", v.parties.str());
+      w.kv("time", static_cast<std::int64_t>(v.time));
+      w.kv("detail", v.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (tracer != nullptr) {
     w.key("primitives").begin_object();
     for (const auto& [kind, st] : latency_by_kind(*tracer)) {
@@ -118,13 +150,33 @@ void write_run_report(std::ostream& os, const Simulation& sim,
       w.key("latency").begin_object();
       w.kv("p50", static_cast<std::int64_t>(st.p50));
       w.kv("p90", static_cast<std::int64_t>(st.p90));
+      w.kv("p99", static_cast<std::int64_t>(st.p99));
       w.kv("max", static_cast<std::int64_t>(st.max));
       w.end_object();
+      w.kv("messages", st.messages).kv("words", st.words);
       w.end_object();
     }
     w.end_object();
     w.kv("trace_spans", static_cast<std::uint64_t>(tracer->spans().size()));
     w.kv("trace_flows", static_cast<std::uint64_t>(tracer->flows().size()));
+
+    // Critical path of the latest-delivering span (schema v2): the message
+    // chain that determined the run's last protocol output.
+    const TraceData data = collect_trace(*tracer, sim, status);
+    const int last = find_done_span(data, "");
+    if (last >= 0) {
+      const CriticalPath cp = critical_path(data, last);
+      const TraceSpan& s = data.spans[static_cast<std::size_t>(last)];
+      w.key("critical_path").begin_object();
+      w.kv("key", s.key).kv("kind", s.kind).kv("party", s.party);
+      w.kv("start", static_cast<std::int64_t>(cp.start));
+      w.kv("end", static_cast<std::int64_t>(cp.end));
+      w.kv("hops", static_cast<std::uint64_t>(cp.hops.size()));
+      w.kv("total_words", cp.total_words);
+      w.kv("network_time", static_cast<std::int64_t>(cp.network_time));
+      w.kv("local_time", static_cast<std::int64_t>(cp.local_time));
+      w.end_object();
+    }
   }
 
   w.end_object();

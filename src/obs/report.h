@@ -6,8 +6,9 @@
 // T'_WSS, T_VSS, T_VTS, T_ACS) and — when a Tracer was attached — observed
 // per-primitive virtual-time latency percentiles, so measured latencies
 // can be checked against the formulas and tracked as a BENCH_*.json
-// trajectory across PRs. Schema: "nampc-run-report/1" (documented in
-// DESIGN.md §Observability).
+// trajectory across PRs. Schema: "nampc-run-report/2" (documented in
+// DESIGN.md §Observability); v2 added p99 + per-kind message/word volumes
+// to "primitives" and the "monitors" / "critical_path" sections.
 #pragma once
 
 #include <ostream>
@@ -17,22 +18,35 @@
 
 namespace nampc::obs {
 
+class MonitorEngine;
+
 /// Virtual-time latency statistics for one primitive kind, computed over
-/// spans that delivered output (done >= 0); latency = done - begin.
+/// spans that delivered output (done >= 0); latency = done - span_start
+/// (the nominal start when recorded, else construction time).
+/// messages/words are each span's own sends (not subtree aggregates, which
+/// would multiply-count nested kinds).
 struct LatencyStats {
   std::uint64_t count = 0;  ///< spans of this kind (done or not)
   std::uint64_t done = 0;   ///< spans that delivered output
   Time p50 = -1;
   Time p90 = -1;
+  Time p99 = -1;
   Time max = -1;
+  std::uint64_t messages = 0;  ///< total messages sent by these spans
+  std::uint64_t words = 0;     ///< total words sent by these spans
 };
 
-/// Nearest-rank percentile latency per kind from a tracer's spans.
+/// Nearest-rank percentile latency per kind over any span collection.
 [[nodiscard]] std::map<std::string, LatencyStats> latency_by_kind(
-    const Tracer& tracer);
+    const std::vector<TraceSpan>& spans);
+[[nodiscard]] inline std::map<std::string, LatencyStats> latency_by_kind(
+    const Tracer& tracer) {
+  return latency_by_kind(tracer.spans());
+}
 
-/// Writes the full run-report JSON. `tracer` may be null (the
-/// "primitives" section is then omitted).
+/// Writes the full run-report JSON. `tracer` may be null (the "primitives"
+/// and "critical_path" sections are then omitted); the "monitors" section
+/// appears when a MonitorEngine is attached to the simulation.
 void write_run_report(std::ostream& os, const Simulation& sim,
                       RunStatus status, const Tracer* tracer);
 

@@ -47,6 +47,11 @@ void Tracer::set_kind(int party, const std::string& key,
   }
 }
 
+void Tracer::set_nominal(int party, const std::string& key, Time t) {
+  const int index = find_open(party, key);
+  if (index >= 0) spans_[static_cast<std::size_t>(index)].nominal = t;
+}
+
 void Tracer::phase(int party, const std::string& key, const std::string& name,
                    Time now) {
   const int index = find_open(party, key);
@@ -73,13 +78,13 @@ void Tracer::on_send(int party, const std::string& key, std::uint64_t words) {
 }
 
 void Tracer::on_flow(int from, int to, std::uint64_t words, Time send,
-                     Time arrival) {
+                     Time arrival, const std::string& key) {
   if (!options_.record_flows) return;
   if (flows_.size() >= options_.max_flows) {
     dropped_flows_++;
     return;
   }
-  flows_.push_back(TraceFlow{from, to, words, send, arrival});
+  flows_.push_back(TraceFlow{from, to, words, send, arrival, key});
 }
 
 void Tracer::on_schedule(Time t, int klass) {
@@ -177,6 +182,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     w.kv("name", "msg").kv("cat", "net");
     w.kv("pid", f.from).kv("tid", 0);
     w.kv("ts", static_cast<std::int64_t>(f.send));
+    w.key("args").begin_object();
+    w.kv("key", f.key);
+    w.end_object();
     w.end_object();
     w.begin_object();
     w.kv("ph", "f").kv("bp", "e").kv("id", static_cast<std::uint64_t>(i));

@@ -43,6 +43,10 @@ struct TraceSpan {
   /// span statistics can mirror the layered Metrics instance counters.
   std::vector<std::string> kinds;
   Time begin = 0;    ///< spawn (registration) virtual time
+  /// The protocol's nominal start time (span_nominal), when it has one:
+  /// composed primitives are constructed up front but scheduled to run at a
+  /// designated offset, so latency is measured from max(begin, nominal).
+  Time nominal = -1;
   Time end = -1;     ///< terminate virtual time; -1 while open
   Time done = -1;    ///< virtual time the protocol delivered output; -1 if never
   std::uint64_t messages_sent = 0;  ///< sends by this instance itself
@@ -51,6 +55,12 @@ struct TraceSpan {
   int parent = -1;  ///< index into spans() of the enclosing instance
 };
 
+/// The time a span's protocol actually started running: its nominal start
+/// when one was recorded and the instance was constructed earlier.
+[[nodiscard]] inline Time span_start(const TraceSpan& s) {
+  return s.nominal > s.begin ? s.nominal : s.begin;
+}
+
 /// One message delivery in virtual time.
 struct TraceFlow {
   int from = -1;
@@ -58,6 +68,7 @@ struct TraceFlow {
   std::uint64_t words = 0;
   Time send = 0;
   Time arrival = 0;
+  std::string key;  ///< instance key the message was addressed to
 };
 
 class Tracer {
@@ -76,11 +87,13 @@ class Tracer {
   void open_span(int party, const std::string& key, Time now);
   void close_span(int party, const std::string& key, Time now);
   void set_kind(int party, const std::string& key, const std::string& kind);
+  void set_nominal(int party, const std::string& key, Time t);
   void phase(int party, const std::string& key, const std::string& name,
              Time now);
   void mark_done(int party, const std::string& key, Time now);
   void on_send(int party, const std::string& key, std::uint64_t words);
-  void on_flow(int from, int to, std::uint64_t words, Time send, Time arrival);
+  void on_flow(int from, int to, std::uint64_t words, Time send, Time arrival,
+               const std::string& key);
   void on_schedule(Time t, int klass);
 
   // --- queries ---

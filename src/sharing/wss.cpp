@@ -48,6 +48,11 @@ Wss::Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
   }
   metrics().wss_instances++;
   span_kind("wss");
+  span_nominal(nominal_start_);
+  // Budget analysis reads this tag to pick T'_WSS (the Z-conditioned bound,
+  // ts+1 iterations) over T_WSS for this span — same switch as
+  // WssOptions::max_iterations.
+  if (options_.z.has_value() || options_.inner_check) phase("z-conditioned");
 
   // Asynchronous-path AOK broadcasts: AOK_j Acast by P_i, for every (i, j).
   aok_.resize(static_cast<std::size_t>(n()));
@@ -120,6 +125,12 @@ void Wss::start(std::vector<Polynomial> row0s) {
     NAMPC_REQUIRE(q.degree() <= ts(), "row0 degree exceeds ts");
   }
   dealer_row0s_ = std::move(row0s);
+  {
+    Writer w;
+    w.seq(dealer_row0s_,
+          [](Writer& ww, const Polynomial& q) { q.encode(ww); });
+    notify_input(std::move(w).take());
+  }
   bivariates_.reserve(dealer_row0s_.size());
   for (const Polynomial& q : dealer_row0s_) {
     bivariates_.push_back(SymBivariate::random_with_row0(q, ts(), rng()));
@@ -895,7 +906,7 @@ void Wss::note_revealed(int member) {
   // instance copy records it (instance keys are identical across parties),
   // and only when that party is honest — corrupt rows are free information.
   if (member == my_id() && !party().corrupt()) {
-    metrics().note_honest_reveal(key(), dealer_);
+    metrics().note_honest_reveal(key(), dealer_, member);
   }
 }
 
@@ -1261,6 +1272,14 @@ void Wss::decide_output(WssOutcome outcome, std::vector<Polynomial> rows) {
   output_time_ = now();
   phase(outcome == WssOutcome::rows ? "output_rows" : "output_bot");
   span_done();
+  {
+    Writer w;
+    w.u64(static_cast<std::uint64_t>(outcome_));
+    w.u64(static_cast<std::uint64_t>(dealer_));
+    w.seq(output_rows_,
+          [](Writer& ww, const Polynomial& f) { f.encode(ww); });
+    notify_output(std::move(w).take());
+  }
   if (on_output_) on_output_();
 }
 

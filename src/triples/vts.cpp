@@ -17,6 +17,7 @@ Vts::Vts(Party& party, std::string key, PartyId dealer, Time nominal_start,
   NAMPC_REQUIRE(num_triples >= 1, "need at least one triple");
   NAMPC_REQUIRE(ts() >= 1, "vts requires ts >= 1");
   span_kind("vts");
+  span_nominal(nominal_start_);
   const int num_secrets = 3 * num_triples_ * (2 * ts() + 1);
   vss_ = &make_child<Vss>("vss", dealer_, nominal_start_, num_secrets, z_,
                           [this] { on_vss_output(); });

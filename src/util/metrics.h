@@ -38,11 +38,20 @@ struct Metrics {
   /// recorded exactly once (by the revealed party's own instance).
   std::map<std::string, std::uint64_t> honest_polys_by_instance;
 
-  /// Records that the honest party owning the instance copy had its row
-  /// polynomial made public in sharing instance `instance_key` dealt by
+  /// Per sharing-instance key, the bitmask of honest parties whose rows were
+  /// made public there and the dealer of that instance — the privacy monitor
+  /// reports these as the offending party set when the bound breaks.
+  std::map<std::string, std::uint64_t> honest_reveal_masks;
+  std::map<std::string, int> honest_reveal_dealers;
+
+  /// Records that honest party `member` (the instance copy's owner) had its
+  /// row polynomial made public in sharing instance `instance_key` dealt by
   /// `dealer`. Maintains the per-dealer maximum for the privacy audit.
-  void note_honest_reveal(const std::string& instance_key, int dealer) {
+  void note_honest_reveal(const std::string& instance_key, int dealer,
+                          int member) {
     const std::uint64_t count = ++honest_polys_by_instance[instance_key];
+    honest_reveal_masks[instance_key] |= (1ull << member);
+    honest_reveal_dealers[instance_key] = dealer;
     std::uint64_t& worst = honest_polys_revealed[dealer];
     if (count > worst) worst = count;
   }

@@ -1,11 +1,12 @@
-// Shared helpers for protocol tests: simulation construction and common
-// adversaries.
+// Shared helpers for protocol tests: simulation construction, common
+// adversaries, and monitored simulations (invariant monitors attached).
 #pragma once
 
 #include <memory>
 
 #include "adversary/scripted.h"
 #include "net/simulation.h"
+#include "obs/monitor.h"
 
 namespace nampc::testing {
 
@@ -16,6 +17,11 @@ struct SimSpec {
   bool ideal = false;
   bool local_coins = false;
   Time delta = 10;
+  /// Violation tests run deliberately-infeasible parameter points (small n
+  /// with over-budget corruption) to make attacks land; skips the
+  /// Theorem 1.1 feasibility check and the privacy-audit assert.
+  bool allow_infeasible = false;
+  bool privacy_audit = true;
 };
 
 inline std::unique_ptr<Simulation> make_sim(
@@ -28,8 +34,33 @@ inline std::unique_ptr<Simulation> make_sim(
   cfg.seed = spec.seed;
   cfg.ideal_primitives = spec.ideal;
   cfg.local_coins = spec.local_coins;
+  cfg.allow_infeasible = spec.allow_infeasible;
+  cfg.privacy_audit = spec.privacy_audit;
   if (!adversary) adversary = std::make_shared<Adversary>();
   return std::make_unique<Simulation>(cfg, std::move(adversary));
+}
+
+/// A simulation with the standard invariant monitors attached. The engine
+/// is heap-allocated and declared before the simulation so it outlives it
+/// (at_quiescence fires inside Simulation::run; monitors must also survive
+/// any instance destructors).
+struct MonitoredSim {
+  std::unique_ptr<obs::MonitorEngine> monitors;
+  std::unique_ptr<Simulation> sim;
+
+  Simulation& operator*() { return *sim; }
+  Simulation* operator->() { return sim.get(); }
+};
+
+inline MonitoredSim make_monitored_sim(
+    const SimSpec& spec,
+    std::shared_ptr<Adversary> adversary = nullptr) {
+  MonitoredSim ms;
+  ms.monitors = std::make_unique<obs::MonitorEngine>();
+  obs::install_standard_monitors(*ms.monitors);
+  ms.sim = make_sim(spec, std::move(adversary));
+  ms.sim->set_monitors(ms.monitors.get());
+  return ms;
 }
 
 /// Canonical parameter points from DESIGN.md §4.

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "mpc/mpc.h"
+#include "obs/analysis.h"
+#include "obs/monitor.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
 #include "sharing/wss.h"
@@ -270,7 +272,7 @@ TEST(Obs, RunReportParsesAndMirrorsMetrics) {
   JsonValue report;
   ASSERT_TRUE(parse_json(run.report_json, report))
       << run.report_json.substr(0, 200);
-  EXPECT_EQ(report.at("schema").str, "nampc-run-report/1");
+  EXPECT_EQ(report.at("schema").str, "nampc-run-report/2");
   EXPECT_EQ(report.at("status").str, "quiescent");
   EXPECT_EQ(report.at("config").at("n").as_int(), 4);
   EXPECT_EQ(report.at("config").at("seed").as_int(), 23);
@@ -453,6 +455,118 @@ TEST(Obs, TracerDisabledIsInert) {
   EXPECT_EQ(sim->metrics().messages_sent, traced.sim->metrics().messages_sent);
   EXPECT_EQ(sim->metrics().events_processed,
             traced.sim->metrics().events_processed);
+}
+
+// ------------------------------------------------------------------------
+// Trace analysis (obs/analysis.h): JSON round-trip, critical-path causality,
+// budget checking and trace diffing over a real traced run.
+
+TEST(ObsAnalysis, TraceRoundTripsThroughJson) {
+  TracedRun run(/*seed=*/41);
+  const obs::TraceData data =
+      obs::collect_trace(run.tracer, *run.sim, run.status);
+  std::ostringstream os;
+  obs::write_trace(os, data);
+
+  obs::TraceData back;
+  std::string error;
+  ASSERT_TRUE(obs::load_trace(os.str(), back, error)) << error;
+  EXPECT_EQ(back.info.params.n, data.info.params.n);
+  EXPECT_EQ(back.info.seed, data.info.seed);
+  EXPECT_EQ(back.info.status, "quiescent");
+  ASSERT_EQ(back.spans.size(), data.spans.size());
+  ASSERT_EQ(back.flows.size(), data.flows.size());
+  for (std::size_t i = 0; i < data.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].key, data.spans[i].key);
+    EXPECT_EQ(back.spans[i].done, data.spans[i].done);
+    EXPECT_EQ(back.spans[i].nominal, data.spans[i].nominal);
+    EXPECT_EQ(back.spans[i].kinds, data.spans[i].kinds);
+  }
+  // A garbage document and a wrong schema both fail cleanly.
+  obs::TraceData junk;
+  EXPECT_FALSE(obs::load_trace("{not json", junk, error));
+  EXPECT_FALSE(obs::load_trace("{\"schema\":\"nampc-trace/999\"}", junk, error));
+}
+
+TEST(ObsAnalysis, CriticalPathIsCausalAndEndsAtSpanDone) {
+  TracedRun run(/*seed=*/42);
+  const obs::TraceData data =
+      obs::collect_trace(run.tracer, *run.sim, run.status);
+  const int idx = obs::find_done_span(data, "mpc");
+  ASSERT_GE(idx, 0);
+  const obs::TraceSpan& span = data.spans[static_cast<std::size_t>(idx)];
+  const obs::CriticalPath cp = obs::critical_path(data, idx);
+  ASSERT_FALSE(cp.hops.empty());
+  // The chain ends where the span delivered, at the span's own party.
+  EXPECT_EQ(cp.end, span.done);
+  EXPECT_EQ(cp.hops.back().to, span.party);
+  // Hops are causally ordered: each send happens at or after the previous
+  // delivery (at the same party), and every hop takes positive time.
+  for (std::size_t i = 0; i < cp.hops.size(); ++i) {
+    EXPECT_GE(cp.hops[i].arrival, cp.hops[i].send);
+    if (i > 0) {
+      EXPECT_EQ(cp.hops[i].from, cp.hops[i - 1].to);
+      EXPECT_GE(cp.hops[i].send, cp.hops[i - 1].arrival);
+    }
+  }
+  EXPECT_EQ(cp.start, cp.hops.front().send);
+  EXPECT_EQ(cp.local_time + cp.network_time, cp.end - cp.start);
+}
+
+TEST(ObsAnalysis, BudgetsHoldOnHonestSyncRun) {
+  TracedRun run(/*seed=*/43);
+  const obs::TraceData data =
+      obs::collect_trace(run.tracer, *run.sim, run.status);
+  const std::vector<obs::BudgetRow> rows = obs::check_budgets(data);
+  ASSERT_FALSE(rows.empty());
+  for (const obs::BudgetRow& row : rows) {
+    EXPECT_TRUE(row.gated);  // synchronous trace: bounds are binding
+    EXPECT_TRUE(row.within) << row.kind << ": observed " << row.observed_max
+                            << " > bound " << row.bound;
+    EXPECT_GT(row.done, 0u);
+  }
+}
+
+TEST(ObsAnalysis, DiffOfIdenticalTracesIsEmpty) {
+  TracedRun a(/*seed=*/44);
+  TracedRun b(/*seed=*/44);
+  const obs::TraceData da = obs::collect_trace(a.tracer, *a.sim, a.status);
+  const obs::TraceData db = obs::collect_trace(b.tracer, *b.sim, b.status);
+  EXPECT_TRUE(obs::diff_traces(da, db).empty());
+  // A different seed shifts message timings, which the diff surfaces.
+  TracedRun c(/*seed=*/45);
+  const obs::TraceData dc = obs::collect_trace(c.tracer, *c.sim, c.status);
+  const auto drift = obs::diff_traces(da, dc);
+  for (const obs::KindDiff& d : drift) {
+    EXPECT_EQ(d.count_a, d.count_b) << d.kind;  // same protocol structure
+  }
+}
+
+TEST(ObsAnalysis, RunReportCarriesMonitorVerdict) {
+  obs::MonitorEngine monitors;
+  obs::install_standard_monitors(monitors);
+  auto sim = make_sim({.params = {4, 1, 0}, .seed = 46});
+  sim->set_monitors(&monitors);
+  std::vector<Wss*> inst;
+  WssOptions opts;
+  for (int i = 0; i < 4; ++i) {
+    inst.push_back(&sim->party(i).spawn<Wss>("w", 0, 0, opts, nullptr));
+  }
+  Rng rng(46);
+  inst[0]->start({Polynomial::random_with_constant(Fp(3), 1, rng)});
+  const RunStatus status = sim->run();
+  ASSERT_EQ(status, RunStatus::quiescent);
+
+  std::ostringstream os;
+  obs::write_run_report(os, *sim, status, nullptr);
+  JsonValue report;
+  ASSERT_TRUE(parse_json(os.str(), report)) << os.str().substr(0, 200);
+  ASSERT_TRUE(report.has("monitors"));
+  const JsonValue& mon = report.at("monitors");
+  EXPECT_TRUE(mon.at("ok").b);
+  EXPECT_GT(mon.at("events").as_int(), 0);
+  EXPECT_EQ(mon.at("attached").as_int(), 7);
+  EXPECT_TRUE(mon.at("violations").arr.empty());
 }
 
 }  // namespace

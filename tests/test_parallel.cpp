@@ -153,7 +153,7 @@ std::string render_report(int jobs) {
 
 TEST(SweepEngine, SerialAndParallelReportsAreByteIdentical) {
   const std::string serial = render_report(1);
-  EXPECT_NE(serial.find("\"schema\":\"nampc-bench/1\""), std::string::npos);
+  EXPECT_NE(serial.find("\"schema\":\"nampc-bench/2\""), std::string::npos);
   EXPECT_EQ(serial, render_report(2));
   EXPECT_EQ(serial, render_report(4));
   EXPECT_EQ(serial, render_report(hardware_threads()));

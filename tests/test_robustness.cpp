@@ -2,7 +2,9 @@
 // garbage payloads, wrong-length vectors, replayed and type-confused
 // messages into every protocol of the stack. The honest protocol must
 // neither crash nor lose its guarantees — malformed traffic is Byzantine
-// behaviour like any other.
+// behaviour like any other. Every run carries the full invariant-monitor
+// catalogue (sim_helpers.h make_monitored_sim): the theorems must hold not
+// just at the asserted outputs but at every intermediate primitive.
 #include <gtest/gtest.h>
 
 #include "mpc/mpc.h"
@@ -12,6 +14,7 @@
 namespace nampc {
 namespace {
 
+using testing::make_monitored_sim;
 using testing::make_sim;
 using testing::SimSpec;
 
@@ -49,8 +52,8 @@ TEST_P(GarbageTest, WssSurvivesGarbageParties) {
   const int budget = c.kind == NetworkKind::synchronous ? p.ts : p.ta;
   PartySet corrupt;
   for (int i = 0; i < budget; ++i) corrupt.insert(p.n - 1 - i);
-  auto sim = make_sim({.params = p, .kind = c.kind, .seed = c.seed},
-                      garbage_adversary(corrupt));
+  auto sim = make_monitored_sim({.params = p, .kind = c.kind, .seed = c.seed},
+                                garbage_adversary(corrupt));
   std::vector<Wss*> inst;
   WssOptions opts;
   for (int i = 0; i < p.n; ++i) {
@@ -60,6 +63,7 @@ TEST_P(GarbageTest, WssSurvivesGarbageParties) {
   const Polynomial q = Polynomial::random_with_constant(Fp(99), p.ts, rng);
   inst[0]->start({q});
   EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(sim.monitors->ok()) << sim.monitors->violations().front().detail;
   for (int i = 0; i < p.n; ++i) {
     if (corrupt.contains(i)) continue;
     Wss* w = inst[static_cast<std::size_t>(i)];
@@ -75,8 +79,8 @@ TEST_P(GarbageTest, VssSurvivesGarbageParties) {
     GTEST_SKIP() << "ta = 0: no corruption budget in async";
   }
   const PartySet corrupt = PartySet::of({3});
-  auto sim = make_sim({.params = p, .kind = c.kind, .seed = c.seed},
-                      garbage_adversary(corrupt));
+  auto sim = make_monitored_sim({.params = p, .kind = c.kind, .seed = c.seed},
+                                garbage_adversary(corrupt));
   std::vector<Vss*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(
@@ -86,6 +90,7 @@ TEST_P(GarbageTest, VssSurvivesGarbageParties) {
   const Polynomial q = Polynomial::random_with_constant(Fp(123), p.ts, rng);
   inst[0]->start({q});
   EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(sim.monitors->ok()) << sim.monitors->violations().front().detail;
   for (int i = 0; i < 3; ++i) {
     Vss* v = inst[static_cast<std::size_t>(i)];
     ASSERT_EQ(v->outcome(), WssOutcome::rows) << "party " << i;
@@ -101,8 +106,8 @@ TEST_P(GarbageTest, MpcSurvivesGarbageParties) {
   const int a = circuit.input(0);
   const int b = circuit.input(1);
   circuit.mark_output(circuit.mul(a, b));
-  auto sim = make_sim({.params = p, .kind = c.kind, .seed = c.seed},
-                      garbage_adversary(corrupt));
+  auto sim = make_monitored_sim({.params = p, .kind = c.kind, .seed = c.seed},
+                                garbage_adversary(corrupt));
   std::vector<Mpc*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim->party(i).spawn<Mpc>(
@@ -110,6 +115,7 @@ TEST_P(GarbageTest, MpcSurvivesGarbageParties) {
         nullptr));
   }
   EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(sim.monitors->ok()) << sim.monitors->violations().front().detail;
   // 2 * 3 = 6 regardless of what the garbage party sprays.
   for (int i = 0; i < 4; ++i) {
     Mpc* m = inst[static_cast<std::size_t>(i)];
@@ -139,9 +145,9 @@ TEST(Robustness, ReplayedMessagesAreIdempotent) {
         d.replacement = std::move(copy);
         return d;
       });
-  auto sim = make_sim({.params = p, .kind = NetworkKind::synchronous,
-                       .seed = 305},
-                      adv);
+  auto sim = make_monitored_sim({.params = p, .kind = NetworkKind::synchronous,
+                                 .seed = 305},
+                                adv);
   std::vector<Wss*> inst;
   WssOptions opts;
   for (int i = 0; i < p.n; ++i) {
@@ -151,6 +157,7 @@ TEST(Robustness, ReplayedMessagesAreIdempotent) {
   const Polynomial q = Polynomial::random_with_constant(Fp(55), p.ts, rng);
   inst[0]->start({q});
   EXPECT_EQ(sim->run(), RunStatus::quiescent);
+  EXPECT_TRUE(sim.monitors->ok()) << sim.monitors->violations().front().detail;
   for (int i = 0; i < 6; ++i) {
     ASSERT_EQ(inst[static_cast<std::size_t>(i)]->outcome(), WssOutcome::rows);
     EXPECT_EQ(inst[static_cast<std::size_t>(i)]->share(0),
