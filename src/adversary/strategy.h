@@ -1,0 +1,141 @@
+// Data-driven adversary strategies for the fuzzing engine (src/fuzz).
+//
+// ScriptedAdversary (scripted.h) composes arbitrary lambdas, which makes it
+// maximally expressive but opaque: a rule cannot be serialized to a repro
+// file, compared, or shrunk. ScriptedStrategy is its declarative sibling —
+// a strategy is plain data (StrategySpec: corrupt set + scheduler
+// distribution + ordered action list), so the fuzzer can sample one from a
+// seed, write it to JSON, replay it byte-identically, and shrink it by
+// dropping actions. The expressible vocabulary deliberately covers the
+// attack classes of the hand-written test suite: selective send/withhold,
+// crash-at-time, value mutation, per-destination equivocation, targeted bit
+// flips, scheduling partitions, and the two composite WSS dealer mutations
+// from tests/test_monitor.cpp.
+//
+// The network model is still enforced on top of whatever a strategy decides
+// — see the model-enforcement contract in net/adversary.h. In particular,
+// actions matching honest senders degrade to pure scheduling power.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/adversary.h"
+
+namespace nampc {
+
+/// One declarative adversarial action. Fields are a filter (which messages
+/// the action applies to) plus kind-specific parameters. The first action in
+/// StrategySpec::actions whose filter matches a message decides its fate
+/// (first-match-wins, like ScriptedAdversary rules); later actions are not
+/// consulted for that message.
+struct StrategyAction {
+  enum class Kind {
+    /// Drop the message (selective withhold when filtered by key/type/
+    /// target, total silence when unfiltered).
+    silence,
+    /// Crash fault: identical to silence but conventionally used with
+    /// `from_time` > 0 — the party behaves honestly, then halts.
+    crash,
+    /// Value mutation: add 1 (mod p) to every payload word — the canonical
+    /// "wrong share / wrong point" fault (matches ScriptedAdversary::
+    /// garble_on). No-op on empty payloads.
+    garble,
+    /// Per-destination equivocation: replace the payload with the single
+    /// word `value + to`, so every receiver sees a different value (the
+    /// acast/bc equivocation shape from tests/test_monitor.cpp).
+    equivocate,
+    /// Targeted bit flip: XOR 1 into payload word `value` (clamped to the
+    /// last word). Flips one boolean/semantic field while preserving the
+    /// message structure — e.g. a relayed input-bit claim (§5 attack).
+    bitflip,
+    /// Scheduling: deliver with exactly `delay` ticks (model-clamped for
+    /// honest senders; kFarFuture = indefinite, async runs only).
+    delay,
+    /// WSS dealer mutant, part 1: decode the row-polynomial payload and add
+    /// to the first row the polynomial (1 + value mod 1000) * Π_{j corrupt}
+    /// (x - α_j), which vanishes at every corrupt party's evaluation point —
+    /// the receiver stays pairwise-consistent with the corrupt set while
+    /// disagreeing with other honest parties.
+    wss_row_perturb,
+    /// WSS dealer mutant, part 2: rewrite an async-exit candidate to the
+    /// per-destination qualified set {to} ∪ corrupt over the AOK graph
+    /// K_n minus all honest-honest edges, with U = ∅ — each honest receiver
+    /// is shown a different clique containing itself.
+    wss_qa_split,
+  };
+
+  Kind kind = Kind::silence;
+
+  // --- filter ---
+  int party = -1;       ///< sender must equal this party; -1 = any sender
+  int target = -1;      ///< receiver must equal this party; -1 = any receiver
+  /// When either set is non-empty the sender/receiver filter is replaced by
+  /// "between the two sets, either direction" (partition schedules).
+  PartySet set_a, set_b;
+  std::string key;      ///< instance-key filter; "" = any
+  bool exact_key = false;  ///< true: instance == key; false: substring
+  int type = -1;        ///< message-type filter; -1 = any
+  Time from_time = 0;   ///< active at or after this virtual time
+
+  // --- parameters ---
+  Time delay = 0;            ///< Kind::delay only
+  std::uint64_t value = 0;   ///< equivocate base / bitflip index / perturb scale
+
+  /// True when this action applies to `m` sent at `now`.
+  [[nodiscard]] bool matches(const Message& m, Time now) const;
+};
+
+/// Randomized delivery scheduler, as data. `model` defers to the
+/// simulation's built-in distribution; `uniform` samples per-edge delays in
+/// [min_delay, max_delay] from streams derived from `seed` (one independent
+/// stream per directed edge, so traffic on one channel never perturbs the
+/// delays of another — which keeps schedules stable under shrinking), with
+/// an optional heavy tail: probability heavy_num/heavy_den of heavy_delay
+/// instead (arbitrary-but-finite reorderings in async mode; kFarFuture for
+/// an indefinite tail).
+struct SchedulerSpec {
+  enum class Mode { model, uniform };
+  Mode mode = Mode::model;
+  std::uint64_t seed = 1;
+  Time min_delay = 1;
+  Time max_delay = 1;
+  std::uint32_t heavy_num = 0;
+  std::uint32_t heavy_den = 1;
+  Time heavy_delay = 0;
+};
+
+/// A complete serializable strategy: who is corrupt, how the network
+/// schedules, what the corrupt parties do.
+struct StrategySpec {
+  PartySet corrupt;
+  SchedulerSpec sched;
+  std::vector<StrategyAction> actions;
+};
+
+/// Interprets a StrategySpec as an Adversary. `n` is the party count of the
+/// run (needed to construct the per-destination graphs of wss_qa_split).
+class ScriptedStrategy : public Adversary {
+ public:
+  explicit ScriptedStrategy(StrategySpec spec, int n);
+
+  [[nodiscard]] PartySet corrupt_set() const override { return spec_.corrupt; }
+  [[nodiscard]] const StrategySpec& spec() const { return spec_; }
+
+  SendDecision on_send(const Message& msg, Time now, NetworkKind kind,
+                       Rng& rng) override;
+  std::optional<Time> sample_delay(const Message& msg, Time now,
+                                   NetworkKind kind, Rng& rng) override;
+
+ private:
+  [[nodiscard]] SendDecision apply(const StrategyAction& action,
+                                   const Message& msg) const;
+
+  StrategySpec spec_;
+  int n_;
+  std::map<std::pair<PartyId, PartyId>, Rng> edge_rngs_;
+};
+
+}  // namespace nampc

@@ -103,7 +103,69 @@ void Aba::begin_round() {
   try_advance();
 }
 
+void Aba::decide(bool v) {
+  if (!decided_.has_value()) {
+    decided_ = v;
+    span_done();
+    notify_output(Words{v ? 1ull : 0ull});
+    if (on_output_) on_output_(v);
+  }
+  value_ = *decided_;
+  if (!sent_decide_) {
+    // Bracha's termination amplification: announce the decision and keep
+    // participating in rounds until 2ts+1 announcements permit halting.
+    sent_decide_ = true;
+    Writer w;
+    w.u64(static_cast<std::uint64_t>(*decided_ ? 1 : 0));
+    send_all(kDecide, std::move(w).take());
+    check_decide_votes();
+  }
+}
+
+void Aba::check_decide_votes() {
+  const int t_plus_1 = params().ts + 1;
+  const int two_t_plus_1 = 2 * params().ts + 1;
+  for (const int v : {0, 1}) {
+    const int votes = decide_votes_[v].size();
+    // ts+1 distinct DECIDE(v): at least one honest party decided v, so v is
+    // the unique decidable value.
+    if (votes >= t_plus_1) decide(v == 1);
+    // 2ts+1: enough honest parties have announced that every remaining
+    // honest party is guaranteed to cross ts+1 as well — safe to go silent.
+    if (votes >= two_t_plus_1 && decided_.has_value() &&
+        *decided_ == (v == 1)) {
+      halted_ = true;
+    }
+  }
+}
+
+void Aba::check_late_decide(int round) {
+  // Phase-3 confirmations are decisive no matter when they arrive: 2ts+1
+  // matching confirms in any round pin the decision (every honest party saw
+  // at least ts+1 of them in its own quorum view of that round and adopted
+  // the value, so no other value can ever gather 2ts+1).
+  const auto it = msgs_.find({kPhase3, round});
+  if (it == msgs_.end()) return;
+  int ones = 0;
+  int zeros = 0;
+  for (const auto& [id, v] : it->second) {
+    if (v == 1) ++ones;
+    else if (v == 0) ++zeros;
+  }
+  const int two_t_plus_1 = 2 * params().ts + 1;
+  if (ones >= two_t_plus_1) decide(true);
+  else if (zeros >= two_t_plus_1) decide(false);
+}
+
 void Aba::on_message(const Message& msg) {
+  if (msg.type == kDecide) {
+    Reader r(msg.payload);
+    const int v = static_cast<int>(r.u64());
+    if (v < 0 || v > 1) return;
+    decide_votes_[v].insert(msg.from);
+    check_decide_votes();
+    return;
+  }
   if (msg.type != kPhase1 && msg.type != kPhase2 && msg.type != kPhase3) return;
   Reader r(msg.payload);
   const int round = static_cast<int>(r.u64());
@@ -112,6 +174,7 @@ void Aba::on_message(const Message& msg) {
   if (v < 0 || v > 2) return;
   if ((msg.type != kPhase3) && v == kNoCandidate) return;
   msgs_[{msg.type, round}].emplace(msg.from, v);
+  if (msg.type == kPhase3) check_late_decide(round);
   try_advance();
 }
 
@@ -143,9 +206,14 @@ void Aba::try_advance() {
       send_all(kPhase2, std::move(w).take());
       progressed = true;
     } else if (phase_ == 2) {
+      // Candidate threshold quorum - ts (= n - 2ts): unique within a view
+      // for n > 3ts, and a unanimous honest round always clears it — a
+      // single corrupt vote inside the quorum must not block candidate
+      // formation (that is the coin-walk agreement bug; see aba.h).
+      const int cand_quorum = quorum - params().ts;
       int cand = kNoCandidate;
-      if (2 * ones > n() + params().ts) cand = 1;
-      else if (2 * zeros > n() + params().ts) cand = 0;
+      if (ones >= cand_quorum) cand = 1;
+      else if (zeros >= cand_quorum) cand = 0;
       phase_ = 3;
       Writer w;
       w.u64(static_cast<std::uint64_t>(round_));
@@ -156,27 +224,16 @@ void Aba::try_advance() {
       const int two_t_plus_1 = 2 * params().ts + 1;
       const int t_plus_1 = params().ts + 1;
       if (ones >= two_t_plus_1 || zeros >= two_t_plus_1) {
-        const bool w = ones >= two_t_plus_1;
-        value_ = w;
-        if (!decided_.has_value()) {
-          decided_ = w;
-          decided_round_ = round_;
-          span_done();
-          notify_output(Words{w ? 1ull : 0ull});
-          if (on_output_) on_output_(w);
-        }
+        decide(ones >= two_t_plus_1);
+      } else if (decided_.has_value()) {
+        // A decided party keeps its value: rounds continue only to carry
+        // the other parties over the line, never to revisit the decision.
       } else if (ones >= t_plus_1) {
         value_ = true;
       } else if (zeros >= t_plus_1) {
         value_ = false;
       } else {
         value_ = coin(round_);
-      }
-      // Halt one full round after deciding; by then every honest party has
-      // adopted the decided value and will decide in that round itself.
-      if (decided_.has_value() && round_ >= decided_round_ + 1) {
-        halted_ = true;
-        return;
       }
       ++round_;
       begin_round();

@@ -1,0 +1,747 @@
+#include "fuzz/fuzz.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "acs/acs.h"
+#include "broadcast/acast.h"
+#include "broadcast/ba.h"
+#include "broadcast/bc.h"
+#include "circuit/circuit.h"
+#include "field/fp.h"
+#include "lowerbound/lowerbound.h"
+#include "mpc/mpc.h"
+#include "poly/polynomial.h"
+#include "sharing/vss.h"
+#include "sharing/wss.h"
+#include "util/json.h"
+#include "util/json_read.h"
+#include "util/sweep.h"
+
+namespace nampc::fuzz {
+
+namespace {
+
+// Indexed by StrategyAction::Kind; JSON names and report labels.
+constexpr const char* kKindNames[] = {
+    "silence",  "crash", "garble",          "equivocate",
+    "bitflip",  "delay", "wss_row_perturb", "wss_qa_split"};
+
+[[nodiscard]] const char* kind_name(StrategyAction::Kind k) {
+  return kKindNames[static_cast<int>(k)];
+}
+
+[[nodiscard]] bool kind_from_name(const std::string& name,
+                                  StrategyAction::Kind& out) {
+  for (int i = 0; i < static_cast<int>(std::size(kKindNames)); ++i) {
+    if (name == kKindNames[i]) {
+      out = static_cast<StrategyAction::Kind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] const char* network_name(NetworkKind kind) {
+  return kind == NetworkKind::synchronous ? "sync" : "async";
+}
+
+// Instance-key fragments that appear throughout the protocol stack's child
+// keys; sampling from this list aims the selective withhold/mutation atoms
+// at structurally meaningful subsets of the traffic. "" matches everything.
+constexpr const char* kKeyFragments[] = {"",    "",    "/pub",   "/d5", "/d8",
+                                         "aok", "/ba", "asyncq", "/it"};
+
+/// Uniformly sampled corrupt set within the corruption budget of the
+/// configured network (possibly empty: pure scheduler fuzz).
+void sample_corrupt(FuzzCase& c, Rng& rng) {
+  const int budget = c.kind == NetworkKind::synchronous ? c.params.ts
+                                                        : c.params.ta;
+  const int size = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(budget) + 1));
+  while (c.strategy.corrupt.size() < size) {
+    c.strategy.corrupt.insert(
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(c.params.n))));
+  }
+}
+
+/// Randomized delivery scheduler: keep the model default half the time,
+/// otherwise per-edge uniform delays (≤ Δ in sync mode; arbitrary-but-finite
+/// spreads with an optional heavy tail in async mode).
+void sample_scheduler(FuzzCase& c, Rng& rng) {
+  if (rng.next_bool()) return;
+  SchedulerSpec& s = c.strategy.sched;
+  s.mode = SchedulerSpec::Mode::uniform;
+  s.seed = rng.next_u64();
+  s.min_delay = 1;
+  if (c.kind == NetworkKind::synchronous) {
+    s.max_delay = rng.next_in(1, c.delta);
+  } else {
+    s.max_delay = rng.next_in(c.delta, 25 * c.delta);
+    if (rng.next_below(4) == 0) {
+      s.heavy_num = 1;
+      s.heavy_den = 8;
+      s.heavy_delay = rng.next_in(25 * c.delta, 100 * c.delta);
+    }
+  }
+}
+
+/// 0..`max_count` generic Byzantine/scheduling atoms: selective withhold,
+/// crash-at-time, value mutation, equivocation, bit flips, partition and
+/// fixed-delay schedules.
+void add_generic_actions(FuzzCase& c, Rng& rng, int max_count) {
+  const std::vector<int> corrupt = c.strategy.corrupt.to_vector();
+  const int n = c.params.n;
+  const int count = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(max_count) + 1));
+  for (int k = 0; k < count; ++k) {
+    StrategyAction a;
+    const std::uint64_t pick = rng.next_below(corrupt.empty() ? 2 : 8);
+    if (pick < 2) {
+      a.kind = StrategyAction::Kind::delay;
+      if (pick == 0 && n >= 2) {
+        // Partition schedule between two random parties.
+        const int x = static_cast<int>(rng.next_below(n));
+        int y = static_cast<int>(rng.next_below(n - 1));
+        if (y >= x) ++y;
+        a.set_a.insert(x);
+        a.set_b.insert(y);
+      }
+      if (c.kind == NetworkKind::synchronous) {
+        a.delay = rng.next_in(1, c.delta);
+      } else {
+        a.delay = rng.next_below(8) == 0 ? kFarFuture
+                                         : rng.next_in(1, 25 * c.delta);
+      }
+    } else {
+      a.party = corrupt[rng.next_below(corrupt.size())];
+      a.key = kKeyFragments[rng.next_below(std::size(kKeyFragments))];
+      switch (pick) {
+        case 2:
+        case 3:
+          a.kind = StrategyAction::Kind::silence;
+          break;
+        case 4:
+          a.kind = StrategyAction::Kind::crash;
+          a.key.clear();
+          a.from_time = rng.next_in(1, 5 * c.delta);
+          break;
+        case 5:
+          a.kind = StrategyAction::Kind::garble;
+          break;
+        case 6:
+          // Per-destination payloads equivocate *through* an ideal
+          // broadcast channel — the engineered-mutant trick, not a real
+          // protocol bug — so ideal-substrate campaigns degrade to the
+          // destination-uniform mutation instead.
+          a.kind = c.ideal ? StrategyAction::Kind::garble
+                           : StrategyAction::Kind::equivocate;
+          a.value = 1000 + rng.next_below(1000);
+          break;
+        default:
+          a.kind = StrategyAction::Kind::bitflip;
+          a.value = rng.next_below(3);
+          break;
+      }
+      if (rng.next_below(4) == 0) a.from_time = rng.next_in(0, 3 * c.delta);
+    }
+    c.strategy.actions.push_back(std::move(a));
+  }
+}
+
+/// The engineered two-bivariate WSS dealer (tests/test_monitor.cpp) as a
+/// sample space: each component atom is included independently with
+/// probability 3/4, so most campaigns carry an incomplete (harmless) subset
+/// and the search has to stumble on the lethal composition.
+void add_wss_mutant_actions(FuzzCase& c, Rng& rng) {
+  const auto want = [&rng] { return rng.next_below(4) < 3; };
+  const auto silence_on = [&c](int party, const char* frag) {
+    StrategyAction a;
+    a.kind = StrategyAction::Kind::silence;
+    a.party = party;
+    a.key = frag;
+    c.strategy.actions.push_back(std::move(a));
+  };
+  if (want()) silence_on(c.dealer, "/pub");
+  if (want()) silence_on(c.dealer, "/d5");
+  if (want()) silence_on(c.dealer, "/d8");
+  if (want()) {
+    StrategyAction a;
+    a.kind = StrategyAction::Kind::wss_row_perturb;
+    a.party = c.dealer;
+    a.target = rng.next_bool() ? 1 : 0;  // which honest party gets f + δ
+    a.key = "wss";
+    a.exact_key = true;
+    a.type = 1;  // Wss row-distribution message
+    a.value = rng.next_below(1000);
+    c.strategy.actions.push_back(std::move(a));
+  }
+  if (want()) {
+    for (const int p : c.strategy.corrupt.to_vector()) {
+      StrategyAction a;
+      a.kind = StrategyAction::Kind::wss_qa_split;
+      a.party = p;
+      a.key = "asyncq";
+      c.strategy.actions.push_back(std::move(a));
+    }
+  }
+}
+
+/// §5 attack space at n = 2·max(ts,ta) + max(2ta,ts): one corrupt relay,
+/// an (optional) indefinite P1↔P2 partition, and targeted bit flips on the
+/// relayed claims. The sampler deliberately includes strategies that miss
+/// (wrong flipped word, no partition) — the monitors decide.
+void add_lowerbound_actions(FuzzCase& c, Rng& rng) {
+  const int relay = rng.next_bool() ? 3 : 2;
+  c.strategy.corrupt.insert(relay);
+  if (rng.next_below(8) != 0) {
+    StrategyAction a;
+    a.kind = StrategyAction::Kind::delay;
+    a.set_a.insert(0);
+    a.set_b.insert(1);
+    a.delay = kFarFuture;
+    c.strategy.actions.push_back(std::move(a));
+  }
+  if (rng.next_below(8) != 0) {
+    StrategyAction a;
+    a.kind = StrategyAction::Kind::bitflip;
+    a.party = relay;
+    a.target = rng.next_bool() ? 1 : 0;
+    a.type = rng.next_bool() ? RelayAnd::kRelay : -1;
+    a.value = rng.next_below(2);  // which word: 0 = origin, 1 = claimed bit
+    c.strategy.actions.push_back(std::move(a));
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& primitive_targets() {
+  static const std::vector<std::string> kTargets = {
+      "acast", "bc", "ba", "wss", "vss", "acs", "mpc", "lb"};
+  return kTargets;
+}
+
+FuzzCase sample_case(const CampaignOptions& options, std::uint64_t index) {
+  FuzzCase c;
+  c.primitive = options.primitive;
+  c.seed = Rng::split(options.seed, index);
+  c.campaign = index;
+  c.max_events = options.max_events;
+  Rng rng(Rng::split(c.seed, 0));
+  const NetworkKind flip =
+      rng.next_bool() ? NetworkKind::asynchronous : NetworkKind::synchronous;
+
+  if (c.primitive == "acast" || c.primitive == "bc") {
+    c.params = {4, 1, 0};
+    c.kind = flip;
+  } else if (c.primitive == "ba") {
+    c.params = rng.next_bool() ? ProtocolParams{5, 1, 1}
+                               : ProtocolParams{4, 1, 0};
+    c.kind = flip;
+    c.ideal = c.kind == NetworkKind::asynchronous;
+  } else if (c.primitive == "wss") {
+    if (options.mutants) {
+      // The engineered-mutant configuration of tests/test_monitor.cpp:
+      // ts = ta forces U = ∅ on the asynchronous exit, and the corrupt
+      // dealer plus one accomplice sit exactly at the async budget.
+      c.params = {4, 2, 2};
+      c.kind = NetworkKind::asynchronous;
+      c.ideal = true;
+      c.dealer = 3;
+      c.strategy.corrupt = PartySet::of({2, 3});
+      add_wss_mutant_actions(c, rng);
+      add_generic_actions(c, rng, 2);
+      sample_scheduler(c, rng);
+      return c;
+    }
+    c.params = {5, 1, 1};
+    c.kind = flip;
+    c.ideal = c.kind == NetworkKind::asynchronous;
+  } else if (c.primitive == "vss") {
+    c.params = {7, 2, 1};
+    c.kind = NetworkKind::synchronous;
+  } else if (c.primitive == "acs") {
+    c.params = {4, 1, 0};
+    c.kind = flip;
+    c.ideal = c.kind == NetworkKind::asynchronous;
+  } else if (c.primitive == "mpc") {
+    c.params = {4, 1, 0};
+    c.kind = NetworkKind::synchronous;
+    c.ideal = true;
+  } else if (c.primitive == "lb") {
+    c.params = {4, 1, 1};
+    c.kind = NetworkKind::asynchronous;
+    add_lowerbound_actions(c, rng);
+    sample_scheduler(c, rng);
+    return c;
+  } else {
+    NAMPC_REQUIRE(false, "unknown fuzz primitive: " + c.primitive);
+  }
+
+  sample_corrupt(c, rng);
+  add_generic_actions(c, rng, 3);
+  sample_scheduler(c, rng);
+  return c;
+}
+
+FuzzVerdict run_case(const FuzzCase& fcase) {
+  // The engine must outlive the Simulation (at_quiescence fires inside
+  // run(); spans close in instance destructors).
+  obs::MonitorEngine monitors;
+  obs::install_standard_monitors(monitors);
+
+  Simulation::Config cfg;
+  cfg.params = fcase.params;
+  cfg.kind = fcase.kind;
+  cfg.delta = fcase.delta;
+  cfg.seed = Rng::split(fcase.seed, 1);
+  cfg.max_events = fcase.max_events;
+  cfg.ideal_primitives = fcase.ideal;
+  // Engineered-mutant and lower-bound campaigns run deliberately infeasible
+  // parameter points; violations found there are findings, not test noise.
+  cfg.allow_infeasible = !fcase.params.feasible();
+  // The privacy monitor reports over-ts reveals as recorded violations; the
+  // quiescence assert would abort the campaign instead of scoring it.
+  cfg.privacy_audit = false;
+
+  auto adversary =
+      std::make_shared<ScriptedStrategy>(fcase.strategy, fcase.params.n);
+  Simulation sim(cfg, adversary);
+  sim.set_monitors(&monitors);
+
+  Rng in(Rng::split(fcase.seed, 2));
+  const int n = fcase.params.n;
+  const PartySet corrupt = fcase.strategy.corrupt;
+  Circuit circ;  // must outlive sim.run(): Mpc instances hold a reference
+
+  if (fcase.primitive == "acast") {
+    std::vector<Acast*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Acast>("acast", fcase.dealer, nullptr));
+    }
+    inst[static_cast<std::size_t>(fcase.dealer)]->start({in.next_below(1000)});
+  } else if (fcase.primitive == "bc") {
+    std::vector<Bc*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Bc>("bc", fcase.dealer, 0, nullptr));
+    }
+    inst[static_cast<std::size_t>(fcase.dealer)]->start({in.next_below(1000)});
+  } else if (fcase.primitive == "ba") {
+    std::vector<Ba*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Ba>("ba", 0, nullptr));
+    }
+    for (int i = 0; i < n; ++i) {
+      inst[static_cast<std::size_t>(i)]->start(in.next_bool());
+    }
+  } else if (fcase.primitive == "wss" || fcase.primitive == "vss") {
+    std::vector<Wss*> inst;
+    const bool vss = fcase.primitive == "vss";
+    PartySet z;
+    for (int i = n - 1; i >= 0 && z.size() < fcase.params.ts - fcase.params.ta;
+         --i) {
+      if (i != fcase.dealer) z.insert(i);
+    }
+    for (int i = 0; i < n; ++i) {
+      if (vss) {
+        inst.push_back(
+            &sim.party(i).spawn<Vss>("vss", fcase.dealer, 0, 1, z, nullptr));
+      } else {
+        WssOptions opts;
+        opts.num_secrets = 1;
+        inst.push_back(
+            &sim.party(i).spawn<Wss>("wss", fcase.dealer, 0, opts, nullptr));
+      }
+    }
+    inst[static_cast<std::size_t>(fcase.dealer)]->start(
+        {Polynomial::random_with_constant(Fp(in.next_below(1'000'000)),
+                                          fcase.params.ts, in)});
+  } else if (fcase.primitive == "acs") {
+    std::vector<Acs*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<Acs>("acs", 0, nullptr));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (corrupt.contains(i)) continue;
+      for (int j = 0; j < n; ++j) {
+        if (!corrupt.contains(j)) inst[static_cast<std::size_t>(i)]->mark(j);
+      }
+    }
+  } else if (fcase.primitive == "mpc") {
+    std::vector<int> wires;
+    for (int i = 0; i < n; ++i) wires.push_back(circ.input(i));
+    int acc = wires[0];
+    for (int i = 1; i < n; ++i) {
+      acc = circ.add(acc, wires[static_cast<std::size_t>(i)]);
+    }
+    circ.mark_output(circ.mul(acc, wires[0]));
+    for (int i = 0; i < n; ++i) {
+      sim.party(i).spawn<Mpc>("mpc", circ, FpVec{Fp(in.next_below(1000))},
+                              nullptr);
+    }
+  } else if (fcase.primitive == "lb") {
+    const TieBreak rule = static_cast<TieBreak>(in.next_below(4));
+    std::vector<RelayAnd*> inst;
+    for (int i = 0; i < n; ++i) {
+      inst.push_back(&sim.party(i).spawn<RelayAnd>("and", rule));
+    }
+    inst[0]->start(in.next_bool());
+    inst[1]->start(in.next_bool());
+    for (int i = 2; i < n; ++i) inst[static_cast<std::size_t>(i)]->start(false);
+  } else {
+    NAMPC_REQUIRE(false, "unknown fuzz primitive: " + fcase.primitive);
+  }
+
+  FuzzVerdict v;
+  v.status = sim.run();
+  v.stall = v.status == RunStatus::event_limit;
+  v.violations = monitors.violations();
+  v.monitor_events = monitors.events_seen();
+  for (const auto& [name, count] : monitors.checks_by_monitor()) {
+    v.monitor_checks += count;
+  }
+  return v;
+}
+
+std::string render_verdict(const FuzzCase& fcase, const FuzzVerdict& verdict) {
+  std::ostringstream os;
+  os << "case primitive=" << fcase.primitive << " n=" << fcase.params.n
+     << " ts=" << fcase.params.ts << " ta=" << fcase.params.ta
+     << " network=" << network_name(fcase.kind) << " delta=" << fcase.delta
+     << " ideal=" << (fcase.ideal ? 1 : 0) << " dealer=" << fcase.dealer
+     << " seed=" << fcase.seed << " campaign=" << fcase.campaign << "\n";
+  os << "strategy corrupt=" << fcase.strategy.corrupt.str() << " sched="
+     << (fcase.strategy.sched.mode == SchedulerSpec::Mode::model ? "model"
+                                                                 : "uniform")
+     << " actions=";
+  if (fcase.strategy.actions.empty()) {
+    os << "none";
+  } else {
+    for (std::size_t i = 0; i < fcase.strategy.actions.size(); ++i) {
+      if (i > 0) os << ",";
+      os << kind_name(fcase.strategy.actions[i].kind);
+    }
+  }
+  os << "\n";
+  os << "verdict status=" << to_string(verdict.status)
+     << " stall=" << (verdict.stall ? 1 : 0)
+     << " violations=" << verdict.violations.size()
+     << " events=" << verdict.monitor_events
+     << " checks=" << verdict.monitor_checks << "\n";
+  for (const obs::Violation& v : verdict.violations) {
+    os << "  [" << v.monitor << "] kind=" << v.kind << " key=" << v.key
+       << " parties=" << v.parties.str() << " t=" << v.time << ": " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+CampaignReport run_campaigns(const CampaignOptions& options) {
+  const std::vector<CampaignResult> results = sweep_run(
+      options.jobs, static_cast<std::size_t>(options.campaigns),
+      [&options](std::size_t i) {
+        CampaignResult r;
+        r.fcase = sample_case(options, i);
+        r.verdict = run_case(r.fcase);
+        return r;
+      });
+
+  CampaignReport report;
+  report.campaigns = options.campaigns;
+  std::ostringstream os;
+  os << "nampc-fuzz primitive=" << options.primitive
+     << " campaigns=" << options.campaigns << " seed=" << options.seed
+     << " mutants=" << (options.mutants ? 1 : 0) << "\n";
+  for (const CampaignResult& r : results) {
+    report.total_violations += r.verdict.violations.size();
+    report.total_checks += r.verdict.monitor_checks;
+    if (r.verdict.stall) ++report.stalls;
+    if (!r.verdict.failed()) continue;
+    ++report.failures;
+    os << "campaign " << r.fcase.campaign << ": FAIL\n";
+    os << render_verdict(r.fcase, r.verdict);
+    report.failing.push_back(r);
+  }
+  os << "summary campaigns=" << report.campaigns
+     << " failures=" << report.failures << " stalls=" << report.stalls
+     << " violations=" << report.total_violations
+     << " checks=" << report.total_checks << "\n";
+  report.text = os.str();
+  return report;
+}
+
+FuzzCase shrink_case(const FuzzCase& fcase, int* steps) {
+  int accepted = 0;
+  FuzzCase cur = fcase;
+  if (!run_case(cur).failed()) {
+    if (steps != nullptr) *steps = 0;
+    return cur;
+  }
+  // Bounded greedy fixed-point: each candidate reduction is kept only when
+  // the failure still reproduces. The budget caps the total number of
+  // re-executions, not the number of accepted reductions.
+  int budget = 200;
+  const auto still_fails = [&budget](const FuzzCase& cand) {
+    if (budget <= 0) return false;
+    --budget;
+    return run_case(cand).failed();
+  };
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+    // 1. Drop whole actions.
+    for (std::size_t i = 0; i < cur.strategy.actions.size();) {
+      FuzzCase cand = cur;
+      cand.strategy.actions.erase(cand.strategy.actions.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        ++accepted;
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    // 2. Simplify the scheduler back to the model default.
+    if (cur.strategy.sched.mode != SchedulerSpec::Mode::model) {
+      FuzzCase cand = cur;
+      cand.strategy.sched = SchedulerSpec{};
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        ++accepted;
+        changed = true;
+      }
+    }
+    // 3. Shorten delay schedules and activation times.
+    for (std::size_t i = 0; i < cur.strategy.actions.size(); ++i) {
+      StrategyAction& a = cur.strategy.actions[i];
+      if (a.kind == StrategyAction::Kind::delay && a.delay > cur.delta &&
+          a.delay != kFarFuture) {
+        FuzzCase cand = cur;
+        cand.strategy.actions[i].delay = cur.delta;
+        if (still_fails(cand)) {
+          cur = std::move(cand);
+          ++accepted;
+          changed = true;
+        }
+      }
+      if (cur.strategy.actions[i].from_time > 0) {
+        FuzzCase cand = cur;
+        cand.strategy.actions[i].from_time = 0;
+        if (still_fails(cand)) {
+          cur = std::move(cand);
+          ++accepted;
+          changed = true;
+        }
+      }
+    }
+    // 4. Un-corrupt parties.
+    for (const int p : cur.strategy.corrupt.to_vector()) {
+      FuzzCase cand = cur;
+      cand.strategy.corrupt.erase(p);
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        ++accepted;
+        changed = true;
+      }
+    }
+  }
+  if (steps != nullptr) *steps = accepted;
+  return cur;
+}
+
+void write_case_json(std::ostream& os, const FuzzCase& fcase) {
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("schema", "nampc-fuzz-seed/1");
+  j.kv("primitive", fcase.primitive);
+  j.kv("n", fcase.params.n);
+  j.kv("ts", fcase.params.ts);
+  j.kv("ta", fcase.params.ta);
+  j.kv("network", network_name(fcase.kind));
+  j.kv("delta", static_cast<std::int64_t>(fcase.delta));
+  j.kv("ideal", fcase.ideal);
+  j.kv("dealer", fcase.dealer);
+  j.kv("seed", fcase.seed);
+  j.kv("campaign", fcase.campaign);
+  j.kv("max_events", fcase.max_events);
+  j.key("strategy").begin_object();
+  j.kv("corrupt", fcase.strategy.corrupt.mask());
+  const SchedulerSpec& s = fcase.strategy.sched;
+  j.key("sched").begin_object();
+  j.kv("mode", s.mode == SchedulerSpec::Mode::model ? "model" : "uniform");
+  j.kv("seed", s.seed);
+  j.kv("min_delay", static_cast<std::int64_t>(s.min_delay));
+  j.kv("max_delay", static_cast<std::int64_t>(s.max_delay));
+  j.kv("heavy_num", static_cast<std::uint64_t>(s.heavy_num));
+  j.kv("heavy_den", static_cast<std::uint64_t>(s.heavy_den));
+  j.kv("heavy_delay", static_cast<std::int64_t>(s.heavy_delay));
+  j.end_object();
+  j.key("actions").begin_array();
+  for (const StrategyAction& a : fcase.strategy.actions) {
+    j.begin_object();
+    j.kv("kind", kind_name(a.kind));
+    j.kv("party", a.party);
+    j.kv("target", a.target);
+    j.kv("set_a", a.set_a.mask());
+    j.kv("set_b", a.set_b.mask());
+    j.kv("key", a.key);
+    j.kv("exact_key", a.exact_key);
+    j.kv("type", a.type);
+    j.kv("from_time", static_cast<std::int64_t>(a.from_time));
+    j.kv("delay", static_cast<std::int64_t>(a.delay));
+    j.kv("value", a.value);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  j.end_object();
+  os << "\n";
+}
+
+std::string case_to_json(const FuzzCase& fcase) {
+  std::ostringstream os;
+  write_case_json(os, fcase);
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] const JsonValue* need(const JsonValue& obj, const char* name,
+                                    std::string& error) {
+  if (!obj.is_object()) {
+    error = "expected object";
+    return nullptr;
+  }
+  const JsonValue* v = obj.find(name);
+  if (v == nullptr) error = std::string("missing member '") + name + "'";
+  return v;
+}
+
+}  // namespace
+
+bool read_case_json(const std::string& text, FuzzCase& out,
+                    std::string& error) {
+  JsonValue doc;
+  if (!json_parse(text, doc, error)) return false;
+  const JsonValue* schema = need(doc, "schema", error);
+  if (schema == nullptr) return false;
+  if (schema->text != "nampc-fuzz-seed/1") {
+    error = "unsupported schema: " + schema->text;
+    return false;
+  }
+  FuzzCase c;
+  const auto str = [&](const char* name, std::string& dst) {
+    const JsonValue* v = need(doc, name, error);
+    if (v == nullptr) return false;
+    dst = v->text;
+    return true;
+  };
+  if (!str("primitive", c.primitive)) return false;
+  std::string network;
+  if (!str("network", network)) return false;
+  if (network != "sync" && network != "async") {
+    error = "bad network: " + network;
+    return false;
+  }
+  c.kind = network == "sync" ? NetworkKind::synchronous
+                             : NetworkKind::asynchronous;
+  const JsonValue *n = need(doc, "n", error), *ts = need(doc, "ts", error),
+                  *ta = need(doc, "ta", error),
+                  *delta = need(doc, "delta", error),
+                  *ideal = need(doc, "ideal", error),
+                  *dealer = need(doc, "dealer", error),
+                  *seed = need(doc, "seed", error),
+                  *campaign = need(doc, "campaign", error),
+                  *max_events = need(doc, "max_events", error),
+                  *strategy = need(doc, "strategy", error);
+  if (n == nullptr || ts == nullptr || ta == nullptr || delta == nullptr ||
+      ideal == nullptr || dealer == nullptr || seed == nullptr ||
+      campaign == nullptr || max_events == nullptr || strategy == nullptr) {
+    return false;
+  }
+  c.params = {static_cast<int>(n->i64()), static_cast<int>(ts->i64()),
+              static_cast<int>(ta->i64())};
+  c.delta = delta->i64();
+  c.ideal = ideal->boolean();
+  c.dealer = static_cast<int>(dealer->i64());
+  c.seed = seed->u64();
+  c.campaign = campaign->u64();
+  c.max_events = max_events->u64();
+  const JsonValue* corrupt = need(*strategy, "corrupt", error);
+  const JsonValue* sched = need(*strategy, "sched", error);
+  const JsonValue* actions = need(*strategy, "actions", error);
+  if (corrupt == nullptr || sched == nullptr || actions == nullptr) {
+    return false;
+  }
+  c.strategy.corrupt = PartySet(corrupt->u64());
+  const JsonValue* mode = need(*sched, "mode", error);
+  if (mode == nullptr) return false;
+  if (mode->text != "model" && mode->text != "uniform") {
+    error = "bad scheduler mode: " + mode->text;
+    return false;
+  }
+  SchedulerSpec& s = c.strategy.sched;
+  s.mode = mode->text == "model" ? SchedulerSpec::Mode::model
+                                 : SchedulerSpec::Mode::uniform;
+  const JsonValue *ss = need(*sched, "seed", error),
+                  *mind = need(*sched, "min_delay", error),
+                  *maxd = need(*sched, "max_delay", error),
+                  *hn = need(*sched, "heavy_num", error),
+                  *hd = need(*sched, "heavy_den", error),
+                  *hdel = need(*sched, "heavy_delay", error);
+  if (ss == nullptr || mind == nullptr || maxd == nullptr || hn == nullptr ||
+      hd == nullptr || hdel == nullptr) {
+    return false;
+  }
+  s.seed = ss->u64();
+  s.min_delay = mind->i64();
+  s.max_delay = maxd->i64();
+  s.heavy_num = static_cast<std::uint32_t>(hn->u64());
+  s.heavy_den = static_cast<std::uint32_t>(hd->u64());
+  s.heavy_delay = hdel->i64();
+  if (!actions->is_array()) {
+    error = "strategy.actions must be an array";
+    return false;
+  }
+  for (const JsonValue& item : actions->items) {
+    StrategyAction a;
+    const JsonValue* kind = need(item, "kind", error);
+    if (kind == nullptr) return false;
+    if (!kind_from_name(kind->text, a.kind)) {
+      error = "unknown action kind: " + kind->text;
+      return false;
+    }
+    const JsonValue *party = need(item, "party", error),
+                    *target = need(item, "target", error),
+                    *set_a = need(item, "set_a", error),
+                    *set_b = need(item, "set_b", error),
+                    *key = need(item, "key", error),
+                    *exact = need(item, "exact_key", error),
+                    *type = need(item, "type", error),
+                    *from = need(item, "from_time", error),
+                    *del = need(item, "delay", error),
+                    *value = need(item, "value", error);
+    if (party == nullptr || target == nullptr || set_a == nullptr ||
+        set_b == nullptr || key == nullptr || exact == nullptr ||
+        type == nullptr || from == nullptr || del == nullptr ||
+        value == nullptr) {
+      return false;
+    }
+    a.party = static_cast<int>(party->i64());
+    a.target = static_cast<int>(target->i64());
+    a.set_a = PartySet(set_a->u64());
+    a.set_b = PartySet(set_b->u64());
+    a.key = key->text;
+    a.exact_key = exact->boolean();
+    a.type = static_cast<int>(type->i64());
+    a.from_time = from->i64();
+    a.delay = del->i64();
+    a.value = value->u64();
+    c.strategy.actions.push_back(std::move(a));
+  }
+  out = std::move(c);
+  return true;
+}
+
+}  // namespace nampc::fuzz

@@ -1,0 +1,121 @@
+// Deterministic adversarial-campaign fuzzing engine.
+//
+// The paper's theorems are safety/liveness properties quantified over *all*
+// adversaries; the hand-written tests exercise a handful of scripted ones.
+// This engine searches the adversary space systematically: each campaign is
+// a FuzzCase — a primitive under test plus a serializable ScriptedStrategy
+// (adversary/strategy.h) sampled deterministically from (base seed, campaign
+// index) via Rng::split — executed in its own Simulation with the full
+// standard monitor catalogue (obs/monitor.h) attached as the bug oracle.
+// A campaign FAILS when any monitor records a violation or the run trips
+// the event limit (liveness stall). Failing cases shrink to minimal repro
+// strategies and round-trip through small JSON seed files, replayable
+// byte-identically (tools/nampc_fuzz --replay).
+//
+// Determinism contract (inherited from util/sweep.h): campaign i's case
+// depends only on (options.seed, i, options fields), never on thread
+// interleaving; run_campaigns merges results in submission order, so the
+// rendered report is byte-identical at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "adversary/strategy.h"
+#include "net/simulation.h"
+#include "obs/monitor.h"
+
+namespace nampc::fuzz {
+
+/// Primitive targets accepted by sample_case / the CLI. "lb" is the §5
+/// lower-bound candidate protocol (RelayAnd) at the infeasible boundary
+/// n = 2·max(ts,ta) + max(2ta,ts).
+[[nodiscard]] const std::vector<std::string>& primitive_targets();
+
+/// One complete, self-describing campaign: everything run_case needs to
+/// reproduce the execution bit-for-bit.
+struct FuzzCase {
+  std::string primitive = "wss";
+  ProtocolParams params{4, 1, 0};
+  NetworkKind kind = NetworkKind::synchronous;
+  Time delta = 10;
+  bool ideal = false;        ///< Simulation::Config::ideal_primitives
+  int dealer = 0;            ///< dealer/sender for acast/bc/wss/vss
+  std::uint64_t seed = 1;    ///< drives sim scheduling and protocol inputs
+  std::uint64_t campaign = 0;  ///< index within its campaign batch (reporting)
+  std::uint64_t max_events = 20'000'000;  ///< per-campaign stall threshold
+  StrategySpec strategy;
+};
+
+/// Oracle outcome of one campaign.
+struct FuzzVerdict {
+  RunStatus status = RunStatus::quiescent;
+  bool stall = false;  ///< event limit tripped: liveness stall
+  std::vector<obs::Violation> violations;
+  std::uint64_t monitor_events = 0;
+  std::uint64_t monitor_checks = 0;
+
+  [[nodiscard]] bool failed() const { return stall || !violations.empty(); }
+};
+
+struct CampaignOptions {
+  std::string primitive = "wss";
+  std::uint64_t seed = 1;
+  int campaigns = 64;
+  int jobs = 1;
+  /// Include the engineered composite mutations (the two-bivariate WSS
+  /// dealer of tests/test_monitor.cpp) in the wss target's sample space.
+  bool mutants = false;
+  std::uint64_t max_events = 20'000'000;
+};
+
+struct CampaignResult {
+  FuzzCase fcase;
+  FuzzVerdict verdict;
+};
+
+struct CampaignReport {
+  int campaigns = 0;
+  int failures = 0;
+  int stalls = 0;
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_checks = 0;
+  std::vector<CampaignResult> failing;  ///< submission (campaign-index) order
+  std::string text;  ///< rendered report; byte-identical at any jobs count
+};
+
+/// Samples campaign `index` of a batch: deterministic in (options, index),
+/// independent of every other campaign.
+[[nodiscard]] FuzzCase sample_case(const CampaignOptions& options,
+                                   std::uint64_t index);
+
+/// Executes one campaign: builds the monitored Simulation, spawns the
+/// target primitive, runs to quiescence/horizon/event-limit and collects
+/// the oracle verdict.
+[[nodiscard]] FuzzVerdict run_case(const FuzzCase& fcase);
+
+/// Runs a full batch, `options.jobs`-way parallel (util/sweep.h).
+[[nodiscard]] CampaignReport run_campaigns(const CampaignOptions& options);
+
+/// Greedily minimizes a failing case: drops strategy actions, simplifies
+/// the scheduler, reduces delays and removes corrupt parties while the
+/// failure (any monitor violation or stall) still reproduces. Returns the
+/// reduced case; `steps`, when non-null, receives the number of accepted
+/// reductions. A non-failing case is returned unchanged with *steps == 0.
+[[nodiscard]] FuzzCase shrink_case(const FuzzCase& fcase, int* steps = nullptr);
+
+/// "nampc-fuzz-seed/1" JSON repro file (util/json.h subset).
+void write_case_json(std::ostream& os, const FuzzCase& fcase);
+[[nodiscard]] std::string case_to_json(const FuzzCase& fcase);
+/// Parses a "nampc-fuzz-seed/1" document; false + `error` on malformed input.
+[[nodiscard]] bool read_case_json(const std::string& text, FuzzCase& out,
+                                  std::string& error);
+
+/// Canonical human-readable verdict block — the byte-identical replay
+/// artifact (--replay prints exactly this).
+[[nodiscard]] std::string render_verdict(const FuzzCase& fcase,
+                                         const FuzzVerdict& verdict);
+
+}  // namespace nampc::fuzz

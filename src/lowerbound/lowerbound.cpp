@@ -5,71 +5,59 @@
 
 namespace nampc {
 
-namespace {
+RelayAnd::RelayAnd(Party& party, std::string key, TieBreak rule)
+    : ProtocolInstance(party, std::move(key)), rule_(rule) {
+  // "mpc" kind: the instance computes a (degenerate) function of the
+  // parties' inputs, and the MPC output-agreement monitor is exactly the
+  // §5 oracle — two honest input holders deciding different values.
+  span_kind("mpc");
+}
 
-/// The candidate 4-party protocol of the reduction. P1 (id 0) and P2
-/// (id 1) hold input bits; P3 (id 2) and P4 (id 3) are relays. Each input
-/// holder sends its bit to everyone; relays forward what they received.
-/// An input holder that cannot hear its peer directly (the Case-II
-/// schedule) must terminate on the relayed claims alone, resolving
-/// conflicts with the protocol's tie-break rule.
-class RelayAnd : public ProtocolInstance {
- public:
-  RelayAnd(Party& party, std::string key, TieBreak rule)
-      : ProtocolInstance(party, std::move(key)), rule_(rule) {}
+void RelayAnd::start(bool input) {
+  input_ = input;
+  if (my_id() <= 1) {
+    Writer w;
+    w.boolean(input);
+    send_all(kInput, std::move(w).take());
+  }
+}
 
-  void start(bool input) {
-    input_ = input;
-    if (my_id() <= 1) {
+void RelayAnd::on_message(const Message& msg) {
+  Reader r(msg.payload);
+  if (msg.type == kInput) {
+    const bool bit = r.boolean();
+    if (msg.from > 1) return;  // only input holders originate
+    note_claim(msg.from, msg.from, bit);
+    if (my_id() >= 2) {
+      // Relay: forward (origin, bit) to the input holders.
       Writer w;
-      w.boolean(input);
-      send_all(kInput, std::move(w).take());
+      w.u64(static_cast<std::uint64_t>(msg.from));
+      w.boolean(bit);
+      send(0, kRelay, w.words());
+      send(1, kRelay, std::move(w).take());
     }
+  } else if (msg.type == kRelay) {
+    if (msg.from < 2) return;  // only relays relay
+    const int origin = static_cast<int>(r.u64());
+    const bool bit = r.boolean();
+    if (origin > 1) return;
+    note_claim(msg.from, origin, bit);
   }
+  maybe_decide();
+}
 
-  [[nodiscard]] bool has_output() const { return output_.has_value(); }
-  [[nodiscard]] bool output() const { return output_.value(); }
+void RelayAnd::note_claim(PartyId via, int origin, bool bit) {
+  claims_[{via, origin}] = bit;
+}
 
-  void on_message(const Message& msg) override {
-    Reader r(msg.payload);
-    if (msg.type == kInput) {
-      const bool bit = r.boolean();
-      if (msg.from > 1) return;  // only input holders originate
-      note_claim(msg.from, msg.from, bit);
-      if (my_id() >= 2) {
-        // Relay: forward (origin, bit) to the input holders.
-        Writer w;
-        w.u64(static_cast<std::uint64_t>(msg.from));
-        w.boolean(bit);
-        send(0, kRelay, w.words());
-        send(1, kRelay, std::move(w).take());
-      }
-    } else if (msg.type == kRelay) {
-      if (msg.from < 2) return;  // only relays relay
-      const int origin = static_cast<int>(r.u64());
-      const bool bit = r.boolean();
-      if (origin > 1) return;
-      note_claim(msg.from, origin, bit);
-    }
-    maybe_decide();
-  }
-
- private:
-  enum MsgType { kInput = 1, kRelay = 2 };
-
-  void note_claim(PartyId via, int origin, bool bit) {
-    claims_[{via, origin}] = bit;
-  }
-
-  void maybe_decide() {
-    if (output_.has_value() || my_id() > 1) return;
-    const int peer = 1 - my_id();
-    // Direct copy wins immediately.
-    const auto direct = claims_.find({peer, peer});
-    if (direct != claims_.end()) {
-      output_ = input_ && direct->second;
-      return;
-    }
+void RelayAnd::maybe_decide() {
+  if (output_.has_value() || my_id() > 1) return;
+  const int peer = 1 - my_id();
+  // Direct copy wins immediately.
+  const auto direct = claims_.find({peer, peer});
+  if (direct != claims_.end()) {
+    output_ = input_ && direct->second;
+  } else {
     // Otherwise both relays must have spoken (the protocol cannot wait for
     // the direct channel forever — asynchronous termination requirement).
     const auto via3 = claims_.find({2, peer});
@@ -88,14 +76,15 @@ class RelayAnd : public ProtocolInstance {
     }
     output_ = input_ && peer_bit;
   }
-
-  TieBreak rule_;
-  bool input_ = false;
-  std::map<std::pair<PartyId, int>, bool> claims_;
-  std::optional<bool> output_;
-};
-
-}  // namespace
+  // Canonical "mpc" output payload (see obs/monitor.cpp): a sequence of
+  // (known, value) output wires — here the single AND output.
+  Writer w;
+  w.u64(1);
+  w.boolean(true);
+  w.u64(*output_ ? 1u : 0u);
+  notify_output(std::move(w).take());
+  span_done();
+}
 
 AttackOutcome run_partition_attack(bool x1, bool x2, TieBreak rule,
                                    int corrupt_relay, bool lie_to_p2,

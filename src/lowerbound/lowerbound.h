@@ -21,7 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
+
+#include "net/simulation.h"
 
 namespace nampc {
 
@@ -46,6 +50,42 @@ struct AttackOutcome {
   [[nodiscard]] bool correct() const {
     return agree() && p1_output == (x1 && x2);
   }
+};
+
+/// The candidate 4-party protocol of the §5 reduction. P1 (id 0) and P2
+/// (id 1) hold input bits; P3 (id 2) and P4 (id 3) are relays. Each input
+/// holder sends its bit to everyone; relays forward what they received. An
+/// input holder that cannot hear its peer directly (the Case-II schedule)
+/// must terminate on the relayed claims alone, resolving conflicts with the
+/// protocol's tie-break rule.
+///
+/// Public (rather than an implementation detail of run_partition_attack) so
+/// the fuzzing engine can use it as a search target: the instance reports
+/// its decision to any attached MonitorEngine under kind "mpc", making the
+/// MPC output-agreement monitor the oracle that recognizes the theorem's
+/// P1/P2 disagreement when a fuzzed strategy rediscovers the attack.
+class RelayAnd : public ProtocolInstance {
+ public:
+  RelayAnd(Party& party, std::string key, TieBreak rule);
+
+  /// Input holders (ids 0, 1) broadcast their bit; relays ignore `input`.
+  void start(bool input);
+
+  [[nodiscard]] bool has_output() const { return output_.has_value(); }
+  [[nodiscard]] bool output() const { return output_.value(); }
+
+  void on_message(const Message& msg) override;
+
+  enum MsgType { kInput = 1, kRelay = 2 };
+
+ private:
+  void note_claim(PartyId via, int origin, bool bit);
+  void maybe_decide();
+
+  TieBreak rule_;
+  bool input_ = false;
+  std::map<std::pair<PartyId, int>, bool> claims_;
+  std::optional<bool> output_;
 };
 
 /// Runs the Case-II partition attack against the candidate protocol with

@@ -12,6 +12,11 @@ using PartyId = int;
 /// A message addressed to a protocol instance on the receiving party.
 /// `instance` is the routing key (hierarchical, e.g. "vss0/it2/inner3/acast");
 /// `type` is a protocol-defined tag; `payload` is the word-encoded body.
+///
+/// Channels are authenticated point-to-point links: what the adversary may
+/// do to a message in flight (drop/rewrite only for corrupt `from`, delay
+/// subject to Δ-clamping, kFarFuture semantics) is stated once in the
+/// model-enforcement contract of net/adversary.h.
 struct Message {
   PartyId from = -1;
   PartyId to = -1;

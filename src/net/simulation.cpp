@@ -104,8 +104,18 @@ void Simulation::post_message(Message msg) {
   NAMPC_REQUIRE(final_msg.from == orig_from && final_msg.to == orig_to,
                 "adversary cannot change message endpoints");
 
-  Time delay = decision.delay.value_or(
-      default_delay(final_msg.from, final_msg.to));
+  // Delay resolution order (adversary.h contract): explicit decision,
+  // then the adversary's scheduler-sampling hook, then the model default.
+  Time delay;
+  if (decision.delay.has_value()) {
+    delay = *decision.delay;
+  } else if (const std::optional<Time> sampled =
+                 adversary_->sample_delay(final_msg, now_, config_.kind, rng_);
+             sampled.has_value()) {
+    delay = *sampled;
+  } else {
+    delay = default_delay(final_msg.from, final_msg.to);
+  }
   if (delay < 1) delay = 1;
   if (config_.kind == NetworkKind::synchronous && !corrupt_sender) {
     delay = std::min<Time>(delay, config_.delta);

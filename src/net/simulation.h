@@ -133,7 +133,11 @@ class Simulation {
   /// step "at time T" observes every message that arrived "by time T".
   void schedule(Time t, std::function<void()> fn, int klass = 1);
 
-  /// Sends a message through the adversarial network.
+  /// Sends a message through the adversarial network. The adversary's
+  /// SendDecision is applied under the model-enforcement contract of
+  /// net/adversary.h (honest integrity, Δ-clamping, FIFO); the delivery
+  /// delay resolves as explicit decision → Adversary::sample_delay →
+  /// built-in model distribution.
   void post_message(Message msg);
 
   /// Runs until quiescence, the horizon, or the event limit.

@@ -46,6 +46,17 @@ class Rng {
     return Rng(mix(seed_hint_ ^ h));
   }
 
+  /// Splits a parent seed into the seed of the `index`-th independent child
+  /// stream. Stateless and order-free: child i is the same whether or not
+  /// children 0..i-1 were ever materialized, which is what lets the fuzz
+  /// engine hand campaign i to any worker thread (or replay it alone) and
+  /// still sample the identical case. Complements derive(), which splits an
+  /// *instantiated* stream by label.
+  [[nodiscard]] static std::uint64_t split(std::uint64_t seed,
+                                           std::uint64_t index) {
+    return mix(mix(seed ^ 0x5851f42d4c957f2dull) ^ mix(index + 1));
+  }
+
   /// Stateless hash usable as an "oracle" common coin: every party computes
   /// the same bit from (seed, label, round) without communication.
   [[nodiscard]] static bool oracle_coin(std::uint64_t seed,

@@ -1,0 +1,192 @@
+// The fuzzing engine's contracts (src/fuzz):
+//  1. Seeded determinism — the same (options, seed) produce byte-identical
+//     campaign reports, and jobs=1 == jobs=4 (submission-order merge).
+//  2. Repro files — every sampled case round-trips through the
+//     "nampc-fuzz-seed/1" JSON schema, and a replayed case renders the
+//     byte-identical verdict block.
+//  3. Shrinking — a failing case padded with irrelevant atoms shrinks to a
+//     strictly smaller case that still fails.
+//  4. Oracle soundness — honest-stack campaigns produce zero violations.
+//  5. Rediscovery — the engine finds (a) the two-bivariate WSS dealer
+//     mutant of tests/test_monitor.cpp and (b) the §5 lower-bound attack
+//     at n = 2·max(ts,ta) + max(2ta,ts), from pinned base seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/fuzz.h"
+
+namespace nampc::fuzz {
+namespace {
+
+CampaignOptions opts(const std::string& primitive, std::uint64_t seed,
+                     int campaigns, int jobs = 1) {
+  CampaignOptions o;
+  o.primitive = primitive;
+  o.seed = seed;
+  o.campaigns = campaigns;
+  o.jobs = jobs;
+  return o;
+}
+
+TEST(FuzzDeterminism, SameSeedSameReportBytes) {
+  const CampaignOptions o = opts("lb", 1, 32);
+  const CampaignReport a = run_campaigns(o);
+  const CampaignReport b = run_campaigns(o);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.failures, b.failures);
+  ASSERT_EQ(a.failing.size(), b.failing.size());
+  for (std::size_t i = 0; i < a.failing.size(); ++i) {
+    EXPECT_EQ(case_to_json(a.failing[i].fcase),
+              case_to_json(b.failing[i].fcase));
+  }
+}
+
+TEST(FuzzDeterminism, DifferentSeedsDifferentCases) {
+  const FuzzCase a = sample_case(opts("wss", 1, 1), 0);
+  const FuzzCase b = sample_case(opts("wss", 2, 1), 0);
+  EXPECT_NE(case_to_json(a), case_to_json(b));
+}
+
+TEST(FuzzDeterminism, ParallelMatchesSerialBytes) {
+  CampaignOptions serial = opts("lb", 1, 32, 1);
+  CampaignOptions parallel = opts("lb", 1, 32, 4);
+  EXPECT_EQ(run_campaigns(serial).text, run_campaigns(parallel).text);
+}
+
+TEST(FuzzJson, SampledCasesRoundTrip) {
+  for (const std::string& primitive : primitive_targets()) {
+    CampaignOptions o = opts(primitive, 3, 1);
+    o.mutants = primitive == "wss";  // exercise every action kind
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const FuzzCase original = sample_case(o, i);
+      const std::string json = case_to_json(original);
+      FuzzCase parsed;
+      std::string error;
+      ASSERT_TRUE(read_case_json(json, parsed, error))
+          << primitive << "[" << i << "]: " << error;
+      EXPECT_EQ(json, case_to_json(parsed)) << primitive << "[" << i << "]";
+    }
+  }
+}
+
+TEST(FuzzJson, MalformedInputsRejected) {
+  FuzzCase out;
+  std::string error;
+  EXPECT_FALSE(read_case_json("", out, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(read_case_json("{\"schema\":\"other/9\"}", out, error));
+  EXPECT_FALSE(read_case_json("{\"schema\":\"nampc-fuzz-seed/1\"}", out, error));
+  EXPECT_FALSE(error.empty());
+  // A structurally valid document with a bad action kind.
+  const FuzzCase good = sample_case(opts("lb", 1, 1), 9);
+  std::string json = case_to_json(good);
+  const std::string from = "\"kind\":\"";
+  const std::size_t at = json.find(from, json.find("\"actions\""));
+  if (at != std::string::npos) {
+    json.replace(at, from.size() + 1, from + "X");
+    EXPECT_FALSE(read_case_json(json, out, error));
+  }
+}
+
+TEST(FuzzReplay, VerdictBytesSurviveJsonRoundTrip) {
+  // A campaign that fails (lb seed 1 finds several); replaying the JSON
+  // repro must render the byte-identical verdict block.
+  const CampaignReport report = run_campaigns(opts("lb", 1, 32));
+  ASSERT_GT(report.failures, 0);
+  const FuzzCase& original = report.failing[0].fcase;
+  const std::string rendered =
+      render_verdict(original, report.failing[0].verdict);
+  FuzzCase replayed;
+  std::string error;
+  ASSERT_TRUE(read_case_json(case_to_json(original), replayed, error)) << error;
+  EXPECT_EQ(rendered, render_verdict(replayed, run_case(replayed)));
+}
+
+TEST(FuzzShrink, StrictlySmallerStillFailing) {
+  const CampaignReport report = run_campaigns(opts("lb", 1, 32));
+  ASSERT_GT(report.failures, 0);
+  // Pad a known-failing case with atoms that cannot matter (silence of an
+  // already-partitioned edge, a delay activating after the horizon).
+  FuzzCase padded = report.failing[0].fcase;
+  const std::size_t minimal_floor = padded.strategy.actions.size();
+  StrategyAction extra;
+  extra.kind = StrategyAction::Kind::silence;
+  extra.party = 2;
+  extra.key = "no-such-instance";
+  padded.strategy.actions.push_back(extra);
+  extra.kind = StrategyAction::Kind::delay;
+  extra.party = -1;
+  extra.key.clear();
+  extra.from_time = kFarFuture / 2;
+  extra.delay = 1;
+  padded.strategy.actions.push_back(extra);
+  ASSERT_TRUE(run_case(padded).failed());
+
+  int steps = 0;
+  const FuzzCase reduced = shrink_case(padded, &steps);
+  EXPECT_GE(steps, 2);
+  EXPECT_LT(reduced.strategy.actions.size(), padded.strategy.actions.size());
+  EXPECT_LE(reduced.strategy.actions.size(), minimal_floor);
+  EXPECT_TRUE(run_case(reduced).failed());
+}
+
+TEST(FuzzShrink, NonFailingCaseReturnedUnchanged) {
+  FuzzCase quiet;
+  quiet.primitive = "acast";
+  quiet.params = {4, 1, 0};
+  int steps = -1;
+  const FuzzCase same = shrink_case(quiet, &steps);
+  EXPECT_EQ(steps, 0);
+  EXPECT_EQ(case_to_json(quiet), case_to_json(same));
+}
+
+TEST(FuzzOracle, HonestStackProducesNoViolations) {
+  for (const std::string& primitive :
+       {std::string("acast"), std::string("bc"), std::string("ba"),
+        std::string("acs")}) {
+    const CampaignReport report = run_campaigns(opts(primitive, 11, 12));
+    EXPECT_EQ(report.failures, 0) << primitive << ":\n" << report.text;
+    EXPECT_GT(report.total_checks, 0u) << primitive;
+  }
+  for (const std::string& primitive :
+       {std::string("wss"), std::string("vss"), std::string("mpc")}) {
+    const CampaignReport report = run_campaigns(opts(primitive, 11, 4));
+    EXPECT_EQ(report.failures, 0) << primitive << ":\n" << report.text;
+    EXPECT_GT(report.total_checks, 0u) << primitive;
+  }
+}
+
+TEST(FuzzRediscovery, FindsWssTwoBivariateDealerMutant) {
+  CampaignOptions o = opts("wss", 1, 32);
+  o.mutants = true;
+  const CampaignReport report = run_campaigns(o);
+  ASSERT_GT(report.failures, 0) << report.text;
+  bool commitment_break = false;
+  for (const CampaignResult& r : report.failing) {
+    for (const obs::Violation& v : r.verdict.violations) {
+      commitment_break |= v.monitor == "sharing" &&
+                          v.detail.find("inconsistent") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(commitment_break) << report.text;
+}
+
+TEST(FuzzRediscovery, FindsSection5LowerBoundAttack) {
+  // n = 2·max(ts,ta) + max(2ta,ts) with ts = ta = 1: the infeasible
+  // boundary of Theorem 5.1. The MPC output-agreement monitor is the
+  // oracle that recognises the P1/P2 disagreement.
+  const CampaignReport report = run_campaigns(opts("lb", 1, 64));
+  ASSERT_GT(report.failures, 0) << report.text;
+  bool disagreement = false;
+  for (const CampaignResult& r : report.failing) {
+    for (const obs::Violation& v : r.verdict.violations) {
+      disagreement |= v.monitor == "mpc" &&
+                      v.detail.find("different output") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(disagreement) << report.text;
+}
+
+}  // namespace
+}  // namespace nampc::fuzz

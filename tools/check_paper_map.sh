@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Guards docs/PAPER_MAP.md against rot, in both directions:
+#   1. Coverage: every `T_*` formula and every "Protocol x.y" / "Theorem x.y"
+#      token cited in DESIGN.md must appear in docs/PAPER_MAP.md.
+#   2. Anchors: every `path#symbol` anchor in docs/PAPER_MAP.md must name an
+#      existing file that contains the symbol string verbatim.
+# Run from the repo root (CI does); exits non-zero on the first class of
+# failure found, printing every offender.
+set -u
+cd "$(dirname "$0")/.."
+
+MAP=docs/PAPER_MAP.md
+DESIGN=DESIGN.md
+fail=0
+
+if [[ ! -f "$MAP" || ! -f "$DESIGN" ]]; then
+  echo "check_paper_map: missing $MAP or $DESIGN" >&2
+  exit 2
+fi
+
+# --- 1. coverage: DESIGN.md citations must be mapped -----------------------
+# \bT'?_[A-Z]+ deliberately requires a word boundary so TEST_P and the like
+# do not register as timing formulas.
+tokens=$(
+  {
+    grep -oE "\bT'?_[A-Z]+" "$DESIGN"
+    grep -oE "\b(Protocol|Theorem|Corollary) [0-9]+\.[0-9]+" "$DESIGN"
+  } | sort -u
+)
+while IFS= read -r token; do
+  [[ -z "$token" ]] && continue
+  if ! grep -qF "$token" "$MAP"; then
+    echo "UNMAPPED: '$token' cited in $DESIGN but absent from $MAP"
+    fail=1
+  fi
+done <<< "$tokens"
+
+# --- 2. anchors: path#symbol pairs must resolve ----------------------------
+anchors=$(grep -oE '`[^`#]+#[^`]+`' "$MAP" | sed 's/^`//; s/`$//' | sort -u)
+count=0
+while IFS= read -r anchor; do
+  [[ -z "$anchor" ]] && continue
+  path=${anchor%%#*}
+  symbol=${anchor#*#}
+  case "$path" in
+    src/*|tools/*|tests/*|bench/*|docs/*|.github/*) ;;
+    *) continue ;;  # prose like `path#symbol` itself, not an anchor
+  esac
+  count=$((count + 1))
+  if [[ ! -f "$path" ]]; then
+    echo "DANGLING: $MAP anchors '$path' which does not exist"
+    fail=1
+  elif ! grep -qF "$symbol" "$path"; then
+    echo "STALE: '$symbol' not found in $path (anchor \`$anchor\`)"
+    fail=1
+  fi
+done <<< "$anchors"
+
+if [[ $count -lt 10 ]]; then
+  echo "SUSPICIOUS: only $count anchors parsed from $MAP (expected dozens)"
+  fail=1
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "check_paper_map: OK ($count anchors, all DESIGN.md citations mapped)"
+fi
+exit $fail
