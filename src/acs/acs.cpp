@@ -82,6 +82,7 @@ void AcsCore::maybe_finish() {
 
 Acs::Acs(Party& party, std::string key, Time nominal_start, OutputFn on_output)
     : AcsCore(party, std::move(key), nominal_start, party.sim().n(),
+              // LINT:threshold(acs.quorum)
               party.sim().n() - party.sim().params().ts,
               std::move(on_output)) {}
 

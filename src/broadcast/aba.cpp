@@ -43,6 +43,8 @@ void Aba::start(bool input) {
   notify_input(Words{input ? 1ull : 0ull});
 
   if (sim().config().ideal_primitives) {
+    // NOLINT-NAMPC(model-shared-state): ideal-primitive substitution — the
+    // gadget IS the ideal ABA functionality (DESIGN.md), not protocol state.
     auto& gadget = sim().shared_state<IdealAbaGadget>(
         "aba:" + key(), [] { return new IdealAbaGadget(); });
     gadget.inputs.emplace(my_id(), input);
@@ -57,7 +59,8 @@ void Aba::start(bool input) {
          }});
     const PartySet corrupt = sim().adversary().corrupt_set();
     if (!gadget.decision.has_value() &&
-        static_cast<int>(gadget.inputs.size()) >= n() - params().ts) {
+        static_cast<int>(gadget.inputs.size()) >=
+            n() - params().ts) {  // LINT:threshold(aba.input_quorum)
       int ones = 0;
       int zeros = 0;
       for (const auto& [id, v] : gadget.inputs) {
@@ -82,6 +85,8 @@ void Aba::start(bool input) {
         const bool v = *gadget.decision;
         // klass 0: an ideal output is observationally a message arrival —
         // "by time T" checks at the same tick must see it.
+        // NOLINT-NAMPC(model-sim-schedule): ideal-functionality delivery is
+        // the simulator's own act, not a protocol message.
         sim().schedule(
             std::max(when, now()), [deliver, v] { deliver(v); }, /*klass=*/0);
       }
@@ -123,7 +128,9 @@ void Aba::decide(bool v) {
 }
 
 void Aba::check_decide_votes() {
+  // LINT:threshold(aba.decide_support)
   const int t_plus_1 = params().ts + 1;
+  // LINT:threshold(aba.decide_quorum)
   const int two_t_plus_1 = 2 * params().ts + 1;
   for (const int v : {0, 1}) {
     const int votes = decide_votes_[v].size();
@@ -152,6 +159,7 @@ void Aba::check_late_decide(int round) {
     if (v == 1) ++ones;
     else if (v == 0) ++zeros;
   }
+  // LINT:threshold(aba.decide_quorum)
   const int two_t_plus_1 = 2 * params().ts + 1;
   if (ones >= two_t_plus_1) decide(true);
   else if (zeros >= two_t_plus_1) decide(false);
@@ -180,6 +188,7 @@ void Aba::on_message(const Message& msg) {
 
 void Aba::try_advance() {
   if (halted_ || !started_) return;
+  // LINT:threshold(aba.round_quorum)
   const int quorum = n() - params().ts;
 
   bool progressed = true;
@@ -210,6 +219,7 @@ void Aba::try_advance() {
       // for n > 3ts, and a unanimous honest round always clears it — a
       // single corrupt vote inside the quorum must not block candidate
       // formation (that is the coin-walk agreement bug; see aba.h).
+      // LINT:threshold(aba.candidate_quorum)
       const int cand_quorum = quorum - params().ts;
       int cand = kNoCandidate;
       if (ones >= cand_quorum) cand = 1;
@@ -221,7 +231,9 @@ void Aba::try_advance() {
       send_all(kPhase3, std::move(w).take());
       progressed = true;
     } else {  // phase 3
+      // LINT:threshold(aba.decide_quorum)
       const int two_t_plus_1 = 2 * params().ts + 1;
+      // LINT:threshold(aba.decide_support)
       const int t_plus_1 = params().ts + 1;
       if (ones >= two_t_plus_1 || zeros >= two_t_plus_1) {
         decide(ones >= two_t_plus_1);

@@ -5,8 +5,7 @@ namespace nampc {
 Acast::Acast(Party& party, std::string key, PartyId sender, OutputFn on_output)
     : ProtocolInstance(party, std::move(key)),
       sender_(sender),
-      on_output_(std::move(on_output)),
-      threshold_(params().ts) {
+      on_output_(std::move(on_output)) {
   metrics().acast_instances++;
   span_kind("acast");
 }
@@ -26,7 +25,8 @@ void Acast::on_message(const Message& msg) {
     case kEcho: {
       PartySet& who = echoes_[msg.payload];
       who.insert(msg.from);
-      if (who.size() >= n() - threshold_) {
+      // LINT:threshold(acast.echo_quorum)
+      if (who.size() >= n() - params().ts) {
         maybe_ready(msg.payload);
       }
       break;
@@ -34,10 +34,12 @@ void Acast::on_message(const Message& msg) {
     case kReady: {
       PartySet& who = readies_[msg.payload];
       who.insert(msg.from);
-      if (who.size() >= threshold_ + 1) {
+      // LINT:threshold(acast.ready_support)
+      if (who.size() >= params().ts + 1) {
         maybe_ready(msg.payload);  // ready amplification
       }
-      if (who.size() >= n() - threshold_) {
+      // LINT:threshold(acast.output_quorum)
+      if (who.size() >= n() - params().ts) {
         maybe_output(msg.payload);
       }
       break;

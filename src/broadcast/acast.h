@@ -46,7 +46,6 @@ class Acast : public ProtocolInstance {
 
   PartyId sender_;
   OutputFn on_output_;
-  int threshold_;  // t = ts
   bool echoed_ = false;
   bool readied_ = false;
   std::optional<Words> output_;

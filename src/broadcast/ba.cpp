@@ -59,6 +59,7 @@ void Ba::at_aba_start() {
     }
   }
   bool v = input_;
+  // LINT:threshold(ba.plurality_quorum)
   if (ones + zeros >= n() - params().ts) {
     v = ones >= zeros;  // no-majority ties resolve to 1
   }

@@ -81,6 +81,7 @@ namespace {
 
 /// Exact maximum-matching size on the vertex subset `mask`, memoised.
 int matching_size(const Graph& g, std::uint64_t mask,
+                  // NOLINT-NAMPC(det-unordered): lookup-only memo, never iterated
                   std::unordered_map<std::uint64_t, int>& memo) {
   if (mask == 0) return 0;
   const auto it = memo.find(mask);
@@ -105,6 +106,9 @@ int matching_size(const Graph& g, std::uint64_t mask,
 }  // namespace
 
 std::vector<std::pair<int, int>> maximum_matching(const Graph& g) {
+  // NOLINT-NAMPC(det-unordered): memoisation table for the exact matching
+  // recursion; looked up by mask only, never iterated, so hash order cannot
+  // reach the (deterministic, greedy) reconstruction below.
   std::unordered_map<std::uint64_t, int> memo;
   std::uint64_t mask = PartySet::full(g.size()).mask();
   std::vector<std::pair<int, int>> matching;

@@ -1,0 +1,171 @@
+// Determinism pass: the byte-identical replay guarantee (util/sweep.h, the
+// PR-4 fuzz corpus) dies the moment protocol behaviour depends on an
+// uncontrolled source of entropy or on hash-table iteration order. Three
+// rules:
+//
+//   det-rand            banned randomness/clock tokens (rand, random_device,
+//                       mt19937, system_clock, ...) anywhere outside
+//                       src/util/rng.h — all randomness must flow through
+//                       the seeded per-party Rng.
+//   det-unordered       a std::unordered_map/set type mention in protocol
+//                       code. Lookup-only tables are fine but must say so
+//                       with a justified NOLINT-NAMPC suppression; anything
+//                       else should be std::map or a sorted vector.
+//   det-unordered-iter  range-for over a variable whose declaration names an
+//                       unordered container — the direct leak of iteration
+//                       order into observable behaviour.
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace nampc::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+[[nodiscard]] bool rand_scope(const std::string& path) {
+  return path != "src/util/rng.h";
+}
+
+/// The unordered rules police protocol/net/fuzz code; src/util (hash
+/// helpers, the rng, containers) and tools (offline analysis) are exempt.
+[[nodiscard]] bool unordered_scope(const std::string& path) {
+  return starts_with(path, "src/") && !starts_with(path, "src/util/");
+}
+
+[[nodiscard]] bool banned_rand_token(const std::string& t) {
+  return t == "rand" || t == "srand" || t == "rand_r" ||
+         t == "random_device" || t == "default_random_engine" ||
+         t == "mt19937" || t == "mt19937_64" || t == "minstd_rand" ||
+         t == "system_clock" || t == "high_resolution_clock";
+}
+
+[[nodiscard]] bool unordered_token(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+/// Lines whose code part is a preprocessor directive: `#include
+/// <unordered_map>` is not a finding.
+[[nodiscard]] std::vector<bool> preprocessor_lines(const ScannedFile& file) {
+  std::vector<bool> preproc(file.lines.size() + 1, false);
+  for (std::size_t ln = 1; ln <= file.lines.size(); ++ln) {
+    const std::string& code = file.line(static_cast<int>(ln)).code;
+    const auto first = code.find_first_not_of(" \t");
+    if (first != std::string::npos && code[first] == '#') preproc[ln] = true;
+  }
+  return preproc;
+}
+
+[[nodiscard]] std::string trimmed_line(const ScannedFile& file, int line) {
+  std::string s = file.line(line).code;
+  const auto first = s.find_first_not_of(" \t");
+  if (first != std::string::npos) s.erase(0, first);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+void pass_determinism(const ScannedFile& file, std::vector<Finding>& out) {
+  const std::vector<Token> toks = tokenize_file(file);
+  const std::vector<bool> preproc = preprocessor_lines(file);
+  const auto is_preproc = [&](int line) {
+    return line >= 1 && line < static_cast<int>(preproc.size()) &&
+           preproc[static_cast<std::size_t>(line)];
+  };
+
+  const auto add = [&](const Token& tok, const char* rule,
+                       std::string message) {
+    Finding f;
+    f.file = file.path;
+    f.line = tok.line;
+    f.column = tok.column;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.snippet = trimmed_line(file, tok.line);
+    out.push_back(std::move(f));
+  };
+
+  // --- det-rand ----------------------------------------------------------
+  if (rand_scope(file.path)) {
+    for (const Token& tok : toks) {
+      if (is_preproc(tok.line)) continue;
+      if (banned_rand_token(tok.text)) {
+        add(tok, kRuleRand,
+            "'" + tok.text +
+                "' bypasses the seeded Rng (util/rng.h); protocol "
+                "randomness must be replay-deterministic");
+      }
+    }
+  }
+
+  if (!unordered_scope(file.path)) return;
+
+  // --- det-unordered + collect declared variable names -------------------
+  // After an unordered_* token, skip the template argument list (tracking
+  // <...> depth; the tokenizer emits `>>` as one token, closing two levels)
+  // and record the declared identifier, skipping cv/ref decorations. The
+  // names feed det-unordered-iter below.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!unordered_token(toks[i].text)) continue;
+    if (is_preproc(toks[i].line)) continue;
+    add(toks[i], kRuleUnordered,
+        "std::" + toks[i].text +
+            " iteration order is unspecified; use std::map / a sorted "
+            "vector, or suppress with a lookup-only justification");
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">") --depth;
+      if (toks[j].text == ">>") depth -= 2;
+      if (depth <= 0) break;
+    }
+    ++j;  // past the closing '>'
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && !toks[j].text.empty() &&
+        (std::isalpha(static_cast<unsigned char>(toks[j].text[0])) != 0 ||
+         toks[j].text[0] == '_')) {
+      unordered_vars.insert(toks[j].text);
+    }
+  }
+
+  // --- det-unordered-iter ------------------------------------------------
+  // Range-for whose range expression mentions a recorded unordered variable.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+    int depth = 1;
+    std::size_t colon = 0;
+    std::size_t j = i + 2;
+    for (; j < toks.size() && depth > 0; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++depth;
+      if (t == ")") --depth;
+      if (depth == 1 && t == ";") break;  // classic for-loop, not range-for
+      if (depth == 1 && t == ":" && colon == 0) colon = j;
+    }
+    if (colon == 0) continue;
+    for (std::size_t k = colon + 1; k < j; ++k) {
+      if (unordered_vars.count(toks[k].text) != 0) {
+        add(toks[i], kRuleUnorderedIter,
+            "range-for over unordered container '" + toks[k].text +
+                "' leaks hash iteration order into execution order");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace nampc::lint

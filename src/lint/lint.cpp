@@ -1,0 +1,244 @@
+// Lint driver: fans files out over the PR-2 sweep engine, merges per-file
+// findings in submission order, then sorts by (file, line, column, rule,
+// message) — the report is byte-identical across --jobs counts.
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/json.h"
+#include "util/sweep.h"
+
+namespace nampc::lint {
+
+namespace {
+
+/// Per-file sweep job result.
+struct FileResult {
+  std::vector<Finding> findings;
+  std::vector<std::string> used_symbols;
+};
+
+[[nodiscard]] FileResult lint_one(const std::string& path,
+                                  const std::string& content,
+                                  const ThresholdTable* table) {
+  FileResult result;
+  const ScannedFile file = scan_source(path, content);
+  pass_determinism(file, result.findings);
+  pass_threshold(file, table, result.findings, &result.used_symbols);
+  pass_model(file, result.findings);
+  for (Finding& f : result.findings) {
+    f.suppressed = is_suppressed(file, f.line, f.rule);
+  }
+  return result;
+}
+
+[[nodiscard]] bool finding_before(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+         std::tie(b.file, b.line, b.column, b.rule, b.message);
+}
+
+void finalize(Report& report) {
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   finding_before);
+  report.active = 0;
+  report.suppressed = 0;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) {
+      ++report.suppressed;
+    } else {
+      ++report.active;
+    }
+  }
+}
+
+[[nodiscard]] Report lint_sources_impl(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ThresholdTable* table, int jobs,
+    std::set<std::string>* used_symbols) {
+  Sweep<FileResult> sweep(jobs);
+  for (const auto& [path, content] : sources) {
+    // Structured bindings cannot be captured directly in C++17-compatible
+    // lambdas; rebind explicitly.
+    const std::string& p = path;
+    const std::string& c = content;
+    sweep.add([&p, &c, table] { return lint_one(p, c, table); });
+  }
+  std::vector<FileResult> results = sweep.run();
+
+  Report report;
+  for (const auto& [path, content] : sources) {
+    report.files_scanned.push_back(path);
+  }
+  for (FileResult& r : results) {
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(r.findings.begin()),
+                           std::make_move_iterator(r.findings.end()));
+    if (used_symbols != nullptr) {
+      used_symbols->insert(r.used_symbols.begin(), r.used_symbols.end());
+    }
+  }
+  finalize(report);
+  return report;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> catalogue = {
+      {kRuleRand,
+       "randomness/clock source outside util/rng.h (rand, random_device, "
+       "mt19937, system_clock, ...)"},
+      {kRuleUnordered,
+       "std::unordered_map/set in protocol code: iteration order is "
+       "unspecified"},
+      {kRuleUnorderedIter,
+       "range-for over an unordered container: hash order leaks into "
+       "execution order"},
+      {kRuleThresholdMissing,
+       "quorum/threshold expression without a LINT:threshold(<symbol>) "
+       "annotation"},
+      {kRuleThresholdUnknown,
+       "LINT:threshold symbol not present in docs/THRESHOLDS.json"},
+      {kRuleThresholdMismatch,
+       "annotated expression does not match any canonical form of its "
+       "symbol"},
+      {kRuleThresholdOrphan,
+       "LINT:threshold annotation whose target line holds no threshold "
+       "expression"},
+      {kRuleThresholdUnused,
+       "docs/THRESHOLDS.json symbol never referenced by any annotation"},
+      {kRuleModelShared,
+       "Simulation::shared_state<> outside a justified ideal-functionality "
+       "gadget"},
+      {kRuleModelDelivery,
+       "direct delivery (post_message / sim().party()) bypassing the "
+       "adversary pipeline"},
+      {kRuleModelSchedule,
+       "sim().schedule() instead of at()/after(): exempt from "
+       "delta-clamping"},
+      {kRuleModelStatic,
+       "mutable static state shared across parties in one process"},
+  };
+  return catalogue;
+}
+
+void Report::render_text(std::ostream& os, bool show_suppressed) const {
+  for (const Finding& f : findings) {
+    if (f.suppressed && !show_suppressed) continue;
+    os << f.file << ':' << f.line << ':' << f.column << ": ["
+       << (f.suppressed ? "suppressed " : "") << f.rule << "] " << f.message
+       << '\n';
+    if (!f.snippet.empty()) os << "    " << f.snippet << '\n';
+  }
+  os << "nampc_lint: " << active << " active finding(s), " << suppressed
+     << " suppressed, " << files_scanned.size() << " file(s) scanned\n";
+}
+
+void Report::render_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "nampc-lint/1");
+  w.kv("files_scanned", static_cast<std::int64_t>(files_scanned.size()));
+  w.kv("active", active);
+  w.kv("suppressed", suppressed);
+  w.key("findings").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.kv("file", f.file);
+    w.kv("line", f.line);
+    w.kv("column", f.column);
+    w.kv("rule", f.rule);
+    w.kv("message", f.message);
+    w.kv("snippet", f.snippet);
+    w.kv("suppressed", f.suppressed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+Report lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ThresholdTable* table, int jobs) {
+  return lint_sources_impl(sources, table, jobs, nullptr);
+}
+
+Report lint_tree(const std::string& root, const Options& options) {
+  namespace fs = std::filesystem;
+  const fs::path base(root);
+
+  const auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("nampc_lint: cannot read " + p.string());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  std::string error;
+  const std::optional<ThresholdTable> table =
+      ThresholdTable::parse(read_file(base / options.thresholds_path), error);
+  if (!table.has_value()) {
+    throw std::runtime_error("nampc_lint: " + options.thresholds_path + ": " +
+                             error);
+  }
+
+  // Collect *.h/*.cpp under options.paths with sorted, '/'-separated
+  // repo-relative paths: deterministic fan-out and report order.
+  std::vector<std::string> rel_paths;
+  for (const std::string& entry : options.paths) {
+    const fs::path p = base / entry;
+    if (fs::is_regular_file(p)) {
+      rel_paths.push_back(entry);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw std::runtime_error("nampc_lint: no such path: " + p.string());
+    }
+    for (const auto& de : fs::recursive_directory_iterator(p)) {
+      if (!de.is_regular_file()) continue;
+      const std::string ext = de.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      rel_paths.push_back(
+          fs::relative(de.path(), base).generic_string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()),
+                  rel_paths.end());
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    sources.emplace_back(rel, read_file(base / rel));
+  }
+
+  std::set<std::string> used;
+  Report report = lint_sources_impl(sources, &*table, options.jobs, &used);
+
+  // Whole-repo only: a table symbol no annotation references is stale — the
+  // code it documented was refactored away.
+  for (const ThresholdEntry& entry : table->entries()) {
+    if (used.count(entry.symbol) != 0) continue;
+    Finding f;
+    f.file = options.thresholds_path;
+    f.line = 1;
+    f.rule = kRuleThresholdUnused;
+    f.message = "symbol '" + entry.symbol +
+                "' is never referenced by a LINT:threshold annotation";
+    report.findings.push_back(std::move(f));
+  }
+  finalize(report);
+  return report;
+}
+
+}  // namespace nampc::lint

@@ -1,0 +1,159 @@
+// nampc_lint — project-aware static analysis for the three bug classes the
+// runtime oracles (obs/monitor.h, fuzz/fuzz.h) can only catch dynamically:
+//
+//   determinism   rand()/std::random_device/std::chrono::system_clock
+//                 outside util/rng.h, and unordered-container declarations /
+//                 range-iteration where iteration order can leak into
+//                 message order and break byte-identical replay (PR 2/4).
+//   threshold     every quorum/threshold expression in src/broadcast,
+//                 src/sharing, src/acs, src/rs must carry a
+//                 LINT:threshold(symbol) annotation whose symbol resolves in
+//                 docs/THRESHOLDS.json and whose code expression matches one
+//                 of the table's canonical forms — the ACC-vs-this-paper
+//                 constants (and the Aba bug nampc_fuzz found dynamically)
+//                 are exactly this bug class.
+//   model         protocol code must route every cross-party effect through
+//                 Simulation::post_message / the adversary hooks (the
+//                 canonical contract in net/adversary.h): direct delivery,
+//                 sim-level scheduling, shared_state<> gadgets and mutable
+//                 statics are flagged (ideal-functionality gadgets carry
+//                 justified NOLINT-NAMPC suppressions).
+//
+// The analysis is a self-contained lexer/matcher — no libclang — and runs
+// per-file on the PR-2 sweep engine with submission-order merge, so reports
+// are byte-identical across --jobs counts (asserted by tests/test_lint.cpp).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lint/source.h"
+
+namespace nampc::lint {
+
+/// Rule identifiers (stable strings: they appear in reports, NOLINT-NAMPC
+/// suppressions and CI logs).
+inline constexpr const char* kRuleRand = "det-rand";
+inline constexpr const char* kRuleUnordered = "det-unordered";
+inline constexpr const char* kRuleUnorderedIter = "det-unordered-iter";
+inline constexpr const char* kRuleThresholdMissing = "threshold-missing";
+inline constexpr const char* kRuleThresholdUnknown = "threshold-unknown-symbol";
+inline constexpr const char* kRuleThresholdMismatch = "threshold-mismatch";
+inline constexpr const char* kRuleThresholdOrphan = "threshold-orphan";
+inline constexpr const char* kRuleThresholdUnused = "threshold-unused-symbol";
+inline constexpr const char* kRuleModelShared = "model-shared-state";
+inline constexpr const char* kRuleModelDelivery = "model-direct-delivery";
+inline constexpr const char* kRuleModelSchedule = "model-sim-schedule";
+inline constexpr const char* kRuleModelStatic = "model-mutable-static";
+
+/// Every rule with its one-line catalogue entry (rendered by --list-rules
+/// and documented in DESIGN.md §9).
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalogue();
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int column = 1;  ///< 1-based; best effort for token rules
+  std::string rule;
+  std::string message;
+  std::string snippet;  ///< the offending code line, trimmed
+  bool suppressed = false;
+};
+
+/// One entry of docs/THRESHOLDS.json ("nampc-thresholds/1").
+struct ThresholdEntry {
+  std::string symbol;   ///< e.g. "aba.candidate_quorum"
+  std::string paper;    ///< paper object, e.g. "Protocol 4.4" — must appear
+                        ///< in docs/PAPER_MAP.md (tools/check_paper_map.sh)
+  std::string meaning;  ///< human-readable description
+  /// Accepted normalized expression forms, e.g. "n-2*ts" or "quorum-ts".
+  /// A trailing "+*" wildcard allows a symbol-specific continuation
+  /// ("n-ts+*" matches `n() - ts() + dealer_u_.size()`).
+  std::vector<std::string> forms;
+};
+
+class ThresholdTable {
+ public:
+  /// Parses the "nampc-thresholds/1" JSON document. Returns std::nullopt
+  /// and sets `error` on malformed input.
+  [[nodiscard]] static std::optional<ThresholdTable> parse(
+      const std::string& json_text, std::string& error);
+
+  [[nodiscard]] const ThresholdEntry* find(const std::string& symbol) const;
+  /// Entries in file order (determinism of the unused-symbol check).
+  [[nodiscard]] const std::vector<ThresholdEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<ThresholdEntry> entries_;
+};
+
+struct Options {
+  /// Directories (or single files) to scan, relative to `root`.
+  std::vector<std::string> paths{"src", "tools"};
+  /// Threshold table location, relative to `root`.
+  std::string thresholds_path = "docs/THRESHOLDS.json";
+  int jobs = 1;
+};
+
+struct Report {
+  std::vector<Finding> findings;  ///< sorted (file, line, column, rule)
+  std::vector<std::string> files_scanned;
+  int active = 0;      ///< unsuppressed findings
+  int suppressed = 0;  ///< findings silenced by NOLINT-NAMPC
+
+  /// Human-readable rendering (one finding per line, then a summary).
+  void render_text(std::ostream& os, bool show_suppressed = false) const;
+  /// "nampc-lint/1" JSON document. Deterministic: no timestamps, relative
+  /// paths only, findings pre-sorted — byte-identical across --jobs counts.
+  void render_json(std::ostream& os) const;
+};
+
+/// Lints in-memory sources (path, content). Paths select the per-directory
+/// pass policy exactly as on-disk paths do, so tests can exercise every
+/// pass with synthetic "src/broadcast/..." snippets. `table` may be null:
+/// the threshold pass then skips table cross-checks (annotation structure
+/// is still enforced).
+[[nodiscard]] Report lint_sources(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const ThresholdTable* table, int jobs = 1);
+
+/// Scans `root` (a repo checkout) per `options`: collects *.h/*.cpp under
+/// options.paths (sorted, so job fan-out order is deterministic), loads the
+/// threshold table, and lints everything. Throws std::runtime_error when
+/// the table is missing or malformed — a silently skipped audit would
+/// defeat the point.
+[[nodiscard]] Report lint_tree(const std::string& root, const Options& options);
+
+// --- pass internals, exposed for tests -----------------------------------
+
+/// Normalized expression tokens for the threshold pass: `params().ts` →
+/// `ts`, `party.sim().n()` → `n`, empty call parens dropped, `->` → `.`.
+[[nodiscard]] std::vector<std::string> normalize_tokens(
+    const std::string& code);
+
+/// A threshold expression found on one line: the maximal normalized
+/// arithmetic span around a ts/ta seed (with a leading comparator for bare
+/// comparisons like `<=ts`), rendered without spaces.
+[[nodiscard]] std::vector<std::string> threshold_spans(const std::string& code);
+
+/// True when `span` matches `form` exactly (or via the trailing "+*"
+/// wildcard).
+[[nodiscard]] bool span_matches_form(const std::string& span,
+                                     const std::string& form);
+
+void pass_determinism(const ScannedFile& file, std::vector<Finding>& out);
+void pass_threshold(const ScannedFile& file, const ThresholdTable* table,
+                    std::vector<Finding>& out,
+                    std::vector<std::string>* used_symbols);
+void pass_model(const ScannedFile& file, std::vector<Finding>& out);
+
+}  // namespace nampc::lint

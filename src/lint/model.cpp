@@ -1,0 +1,127 @@
+// Model-boundary pass: the security argument only covers executions where
+// every cross-party effect flows through Simulation::post_message under the
+// adversary hooks (the canonical contract at the top of net/adversary.h).
+// Protocol code gets the safe surface — ProtocolInstance::send/send_all/
+// at/after — and this pass flags the bypasses:
+//
+//   model-direct-delivery  touching another party's instance via
+//                          sim().party(...) or calling post_message directly
+//                          (skips the adversary pipeline: drops, Δ-clamping,
+//                          corruption hooks).
+//   model-sim-schedule     sim().schedule(...) instead of at()/after() —
+//                          raw simulator time, exempt from Δ-clamping.
+//   model-shared-state     Simulation::shared_state<T> gadgets: legitimate
+//                          only for the ideal functionalities DESIGN.md
+//                          substitutes, each with a justified suppression.
+//   model-mutable-static   function/namespace-scope mutable statics reachable
+//                          from several parties in one process — cross-party
+//                          shared memory the model does not grant.
+#include <string>
+
+#include "lint/lint.h"
+
+namespace nampc::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Protocol layers bound by the adversary contract. net/ itself implements
+/// the mechanism; util/, obs/, fuzz/ and tools/ sit outside the model.
+[[nodiscard]] bool model_scope(const std::string& path) {
+  return starts_with(path, "src/broadcast/") ||
+         starts_with(path, "src/sharing/") || starts_with(path, "src/acs/") ||
+         starts_with(path, "src/triples/") || starts_with(path, "src/mpc/") ||
+         starts_with(path, "src/circuit/");
+}
+
+[[nodiscard]] std::string trimmed_line(const ScannedFile& file, int line) {
+  std::string s = file.line(line).code;
+  const auto first = s.find_first_not_of(" \t");
+  if (first != std::string::npos) s.erase(0, first);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+  return s;
+}
+
+[[nodiscard]] bool is_member_access(const std::string& t) {
+  return t == "." || t == "->";
+}
+
+}  // namespace
+
+void pass_model(const ScannedFile& file, std::vector<Finding>& out) {
+  if (!model_scope(file.path)) return;
+
+  const std::vector<Token> toks = tokenize_file(file);
+  const auto add = [&](const Token& tok, const char* rule,
+                       std::string message) {
+    Finding f;
+    f.file = file.path;
+    f.line = tok.line;
+    f.column = tok.column;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.snippet = trimmed_line(file, tok.line);
+    out.push_back(std::move(f));
+  };
+
+  const auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < toks.size() ? toks[i].text : empty;
+  };
+  /// Matches `sim ( ) .|-> member (` starting at i.
+  const auto sim_member_call = [&](std::size_t i, const char* member) {
+    return text(i) == "sim" && text(i + 1) == "(" && text(i + 2) == ")" &&
+           is_member_access(text(i + 3)) && text(i + 4) == member &&
+           text(i + 5) == "(";
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+
+    if (t == "post_message") {
+      add(toks[i], kRuleModelDelivery,
+          "direct post_message bypasses the adversary pipeline; use "
+          "send()/send_all()");
+    } else if (sim_member_call(i, "party")) {
+      add(toks[i], kRuleModelDelivery,
+          "sim().party(...) reaches into another party's instance; "
+          "cross-party effects must travel as messages");
+    } else if (sim_member_call(i, "schedule")) {
+      add(toks[i], kRuleModelSchedule,
+          "sim().schedule(...) is raw simulator time, exempt from "
+          "delta-clamping; use at()/after()");
+    } else if (t == "shared_state") {
+      add(toks[i], kRuleModelShared,
+          "shared_state<> is cross-party shared memory; only ideal-"
+          "functionality gadgets may use it (justify with NOLINT-NAMPC)");
+    } else if (t == "static") {
+      // Mutable static? Scan ahead: a '(' before ';'/'='/'{' means a
+      // function declaration; const/constexpr means immutable; an adjacent
+      // thread_local is the sanctioned per-thread cache idiom (sweep.h).
+      if (text(i + 1) == "thread_local" ||
+          (i > 0 && toks[i - 1].text == "thread_local")) {
+        continue;
+      }
+      bool skip = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "(" || u == "const" || u == "constexpr" ||
+            u == "constinit") {
+          skip = true;
+          break;
+        }
+        if (u == ";" || u == "=" || u == "{") break;
+      }
+      if (!skip) {
+        add(toks[i], kRuleModelStatic,
+            "mutable static state is shared across every party in the "
+            "process; hold state in the protocol instance");
+      }
+    }
+  }
+}
+
+}  // namespace nampc::lint

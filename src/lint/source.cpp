@@ -1,0 +1,267 @@
+#include "lint/source.h"
+
+#include <cctype>
+
+namespace nampc::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extracts the argument list of `marker(...)` occurrences in a comment,
+/// e.g. marker "NOLINT-NAMPC" over "x // NOLINT-NAMPC(det-rand,model-*)".
+[[nodiscard]] std::vector<std::string> marker_args(std::string_view comment,
+                                                   std::string_view marker) {
+  std::vector<std::string> args;
+  std::size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string_view::npos) {
+    std::size_t p = pos + marker.size();
+    pos = p;
+    if (p >= comment.size() || comment[p] != '(') continue;
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string_view::npos) continue;
+    std::string_view body = comment.substr(p + 1, close - p - 1);
+    std::size_t start = 0;
+    while (start <= body.size()) {
+      std::size_t comma = body.find(',', start);
+      if (comma == std::string_view::npos) comma = body.size();
+      std::string arg(body.substr(start, comma - start));
+      // Trim surrounding whitespace.
+      while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.front()))) {
+        arg.erase(arg.begin());
+      }
+      while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.back()))) {
+        arg.pop_back();
+      }
+      if (!arg.empty()) args.push_back(std::move(arg));
+      start = comma + 1;
+    }
+    pos = close;
+  }
+  return args;
+}
+
+}  // namespace
+
+bool SourceLine::comment_only() const {
+  for (const char c : code) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+const SourceLine& ScannedFile::line(int number) const {
+  static const SourceLine empty;
+  if (number < 1 || number > static_cast<int>(lines.size())) return empty;
+  return lines[static_cast<std::size_t>(number - 1)];
+}
+
+ScannedFile scan_source(std::string path, std::string_view content) {
+  ScannedFile file;
+  file.path = std::move(path);
+
+  enum class State { code, line_comment, block_comment, string, chr, raw };
+  State state = State::code;
+  std::string raw_terminator;  // ")delim\"" for the active raw string
+  SourceLine cur;
+
+  const auto flush_line = [&] {
+    file.lines.push_back(std::move(cur));
+    cur = SourceLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::line_comment) state = State::code;
+      // Unterminated ordinary literals cannot span lines; reset defensively.
+      if (state == State::string || state == State::chr) state = State::code;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Preceded by R (possibly u8R etc. — R suffices here).
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !ident_char(content[i - 2]))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < content.size() && content[j] != '(' &&
+                   content[j] != '\n' && delim.size() <= 16) {
+              delim += content[j++];
+            }
+            if (j < content.size() && content[j] == '(') {
+              state = State::raw;
+              raw_terminator = ")" + delim + "\"";
+              cur.code += "\"\"";
+              i = j;  // consumed through '('
+              break;
+            }
+          }
+          state = State::string;
+          cur.code += "\"\"";  // keep a token boundary, blank the contents
+        } else if (c == '\'') {
+          state = State::chr;
+          cur.code += "''";
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::line_comment:
+        cur.comment += c;
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          cur.code += ' ';  // comment acts as whitespace between tokens
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      case State::string:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::code;
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::code;
+        }
+        break;
+      case State::raw:
+        if (content.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          i += raw_terminator.size() - 1;
+          state = State::code;
+        }
+        break;
+    }
+  }
+  flush_line();  // last line (also handles files without trailing newline)
+  return file;
+}
+
+bool is_suppressed(const ScannedFile& file, int line, std::string_view rule) {
+  const auto matches = [&](const SourceLine& sl) {
+    for (const std::string& arg : marker_args(sl.comment, "NOLINT-NAMPC")) {
+      if (arg == "*" || arg == rule) return true;
+    }
+    return false;
+  };
+  if (matches(file.line(line))) return true;
+  // A comment-only line (or run of them) immediately above also applies.
+  for (int above = line - 1; above >= 1; --above) {
+    const SourceLine& sl = file.line(above);
+    if (!sl.comment_only() || sl.comment.empty()) break;
+    if (matches(sl)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> threshold_symbol_for(const ScannedFile& file,
+                                                int line) {
+  const auto symbol_on = [&](const SourceLine& sl) -> std::optional<std::string> {
+    auto args = marker_args(sl.comment, "LINT:threshold");
+    if (!args.empty()) return args.front();
+    return std::nullopt;
+  };
+  if (auto s = symbol_on(file.line(line))) return s;
+  for (int above = line - 1; above >= 1; --above) {
+    const SourceLine& sl = file.line(above);
+    if (!sl.comment_only() || sl.comment.empty()) break;
+    if (auto s = symbol_on(sl)) return s;
+  }
+  return std::nullopt;
+}
+
+std::vector<Token> tokenize(const std::string& code, int line) {
+  std::vector<Token> out;
+  const std::size_t size = code.size();
+  std::size_t i = 0;
+  while (i < size) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = static_cast<int>(i) + 1;
+    if (ident_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      while (i < size && ident_char(code[i])) tok.text += code[i++];
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // Numbers: digits plus alnum/'/. tails (0xff, 1'000, 1.5f).
+      while (i < size && (ident_char(code[i]) || code[i] == '\'' ||
+                          code[i] == '.')) {
+        tok.text += code[i++];
+      }
+    } else {
+      static const char* kTwoChar[] = {"->", "<=", ">=", "==", "!=", "&&",
+                                       "||", "::", "<<", ">>", "++", "--",
+                                       "+=", "-=", "*=", "/="};
+      tok.text = c;
+      if (i + 1 < size) {
+        const std::string pair{c, code[i + 1]};
+        for (const char* op : kTwoChar) {
+          if (pair == op) {
+            tok.text = pair;
+            break;
+          }
+        }
+      }
+      i += tok.text.size();
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::vector<Token> tokenize_file(const ScannedFile& file) {
+  std::vector<Token> out;
+  for (std::size_t ln = 0; ln < file.lines.size(); ++ln) {
+    auto toks = tokenize(file.lines[ln].code, static_cast<int>(ln) + 1);
+    out.insert(out.end(), toks.begin(), toks.end());
+  }
+  return out;
+}
+
+std::vector<ThresholdAnnotation> threshold_annotations(const ScannedFile& file) {
+  std::vector<ThresholdAnnotation> out;
+  const int count = static_cast<int>(file.lines.size());
+  for (int ln = 1; ln <= count; ++ln) {
+    const SourceLine& sl = file.line(ln);
+    const auto args = marker_args(sl.comment, "LINT:threshold");
+    if (args.empty()) continue;
+    ThresholdAnnotation ann;
+    ann.annotation_line = ln;
+    ann.symbol = args.front();
+    if (!sl.comment_only()) {
+      ann.target_line = ln;
+    } else {
+      for (int below = ln + 1; below <= count; ++below) {
+        if (!file.line(below).comment_only()) {
+          ann.target_line = below;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(ann));
+  }
+  return out;
+}
+
+}  // namespace nampc::lint

@@ -1,0 +1,91 @@
+// Source scanning for nampc_lint: comment/string-aware line splitting and
+// the project annotation grammar.
+//
+// The lint passes (determinism, threshold audit, model boundary — see
+// lint.h) are lexical: they never build an AST, so the scanner's job is to
+// hand them a faithful per-line view where
+//   * string/char literal *contents* are blanked (a log message mentioning
+//     "random_device" must not trip the determinism pass),
+//   * comments are split from code (annotations live in comments; banned
+//     tokens in comments are prose, not findings),
+//   * line numbers survive exactly (findings are clickable).
+//
+// Two annotation forms are recognised, both inside comments:
+//
+//   // NOLINT-NAMPC(rule1,rule2): justification
+//       Suppresses findings of the named rules (or `*`) on the same line,
+//       or — when the annotation line holds no code — on the next code line.
+//
+//   // LINT:threshold(symbol)
+//       Declares that the threshold expression on the same line (or the
+//       next code line) implements `symbol` from docs/THRESHOLDS.json; the
+//       threshold pass cross-checks the code against the table's forms.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nampc::lint {
+
+/// One physical source line, split into code and comment parts.
+struct SourceLine {
+  std::string code;     ///< literal contents blanked, comments removed
+  std::string comment;  ///< concatenated comment text (// and /* */ bodies)
+  [[nodiscard]] bool comment_only() const;
+};
+
+/// A scanned translation unit (or header).
+struct ScannedFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::vector<SourceLine> lines;
+
+  /// 1-based accessors; out-of-range lines read as empty.
+  [[nodiscard]] const SourceLine& line(int number) const;
+};
+
+/// Splits `content` into comment-aware lines. Handles //, /* */, string and
+/// character literals, and raw strings R"delim(...)delim".
+[[nodiscard]] ScannedFile scan_source(std::string path,
+                                      std::string_view content);
+
+/// True when findings of `rule` on `line` (1-based) are suppressed by a
+/// NOLINT-NAMPC annotation on that line or on an immediately preceding
+/// comment-only line.
+[[nodiscard]] bool is_suppressed(const ScannedFile& file, int line,
+                                 std::string_view rule);
+
+/// The LINT:threshold symbol governing `line`: a same-line annotation wins,
+/// else one on an immediately preceding comment-only line.
+[[nodiscard]] std::optional<std::string> threshold_symbol_for(
+    const ScannedFile& file, int line);
+
+/// Lines (1-based) carrying a LINT:threshold annotation, with the code line
+/// each one targets (same line if it holds code, else the next code line;
+/// 0 when no code line follows). Used to detect orphaned annotations.
+struct ThresholdAnnotation {
+  int annotation_line = 0;
+  int target_line = 0;
+  std::string symbol;
+};
+[[nodiscard]] std::vector<ThresholdAnnotation> threshold_annotations(
+    const ScannedFile& file);
+
+/// One lexical token of a code line. Multi-character operators (`->`, `<=`,
+/// `::`, `&&`, ...) are single tokens; whitespace is skipped.
+struct Token {
+  std::string text;
+  int line = 0;    ///< 1-based source line
+  int column = 0;  ///< 1-based offset in the blanked code string (best effort)
+};
+
+/// Tokenizes one code string (string/char contents already blanked by
+/// scan_source).
+[[nodiscard]] std::vector<Token> tokenize(const std::string& code, int line);
+
+/// Tokenizes every line of `file` into one stream (multi-line declarations
+/// and range-for loops span lines).
+[[nodiscard]] std::vector<Token> tokenize_file(const ScannedFile& file);
+
+}  // namespace nampc::lint

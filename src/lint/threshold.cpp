@@ -1,0 +1,308 @@
+// Threshold audit pass: every quorum/threshold expression in the protocol
+// core (src/broadcast, src/sharing, src/acs, src/rs) must be annotated with
+// the paper symbol it implements, and the code expression must match that
+// symbol's canonical form in docs/THRESHOLDS.json.
+//
+// Detection is lexical but token-exact. Each code line is normalized
+// (`params().ts` → `ts`, `party.sim().n()` → `n`, `->` → `.`, empty call
+// parens dropped) and scanned for *seeds*: any `ts`/`ta` token, plus the
+// `2*e` sequence of the Berlekamp-Welch point-count bound. A seed expands
+// to its maximal arithmetic span (identifiers, numbers, `+ - * / % .`),
+// stopping at parentheses, comparisons and other boundaries; a bare `ts`/
+// `ta` span is a trigger only when directly preceded by a comparison
+// operator (so `rs_decode(pts, ts, 0)` passes untouched but
+// `nr_count > ts` must be annotated).
+//
+// The maximality rule is what catches off-by-one mutants: `n - ts - 1`
+// yields the span "n-ts-1", which the form "n-ts" does NOT match — exactly
+// the ACC-style constant drift (and the Aba quorum bug nampc_fuzz had to
+// find dynamically) this pass pins down statically.
+#include <algorithm>
+#include <cctype>
+
+#include "lint/lint.h"
+#include "util/json_read.h"
+
+namespace nampc::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+[[nodiscard]] bool in_threshold_scope(const std::string& path) {
+  return starts_with(path, "src/broadcast/") ||
+         starts_with(path, "src/sharing/") || starts_with(path, "src/acs/") ||
+         starts_with(path, "src/rs/");
+}
+
+[[nodiscard]] bool is_ident(const std::string& t) {
+  const char c = t.empty() ? '\0' : t[0];
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+[[nodiscard]] bool is_number(const std::string& t) {
+  return !t.empty() && std::isdigit(static_cast<unsigned char>(t[0])) != 0;
+}
+
+[[nodiscard]] bool is_comparison(const std::string& t) {
+  return t == "<" || t == "<=" || t == ">" || t == ">=" || t == "==" ||
+         t == "!=";
+}
+
+/// Tokens an arithmetic span may contain (identifiers/numbers handled
+/// separately).
+[[nodiscard]] bool is_span_operator(const std::string& t) {
+  return t == "+" || t == "-" || t == "*" || t == "/" || t == "%" || t == ".";
+}
+
+[[nodiscard]] bool is_param_token(const std::string& t) {
+  return t == "ts" || t == "ta" || t == "n";
+}
+
+/// Keywords never participate in a threshold expression; without this,
+/// `int ts() const { ... }` (the accessor definition itself) would expand
+/// to a bogus multi-token span.
+[[nodiscard]] bool is_keyword(const std::string& t) {
+  static const char* kKeywords[] = {
+      "alignas",   "auto",     "bool",     "break",    "case",     "char",
+      "class",     "const",    "constexpr", "constinit", "continue",
+      "default",   "delete",   "double",   "else",     "enum",     "false",
+      "float",     "for",      "if",       "inline",   "int",      "long",
+      "namespace", "new",      "nodiscard", "noexcept", "nullptr",
+      "operator",  "override", "return",   "short",    "signed",   "sizeof",
+      "static",    "struct",   "switch",   "template", "this",     "true",
+      "typename",  "unsigned", "using",    "void",     "while"};
+  for (const char* k : kKeywords) {
+    if (t == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> normalize_tokens(const std::string& code) {
+  std::vector<std::string> toks;
+  std::vector<Token> raw = tokenize(code, 1);
+  for (Token& t : raw) {
+    toks.push_back(t.text == "->" ? "." : std::move(t.text));
+  }
+  // Iterate collapse rules to a fixpoint. The rules only ever shrink the
+  // stream, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      // [ident, (, )] → ident : `ts()` → `ts`, `sim()` → `sim`.
+      if (is_ident(toks[i]) && toks[i + 1] == "(" && toks[i + 2] == ")") {
+        toks.erase(toks.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   toks.begin() + static_cast<std::ptrdiff_t>(i) + 3);
+        changed = true;
+        break;
+      }
+      // [ident, ., ts|ta|n] → ts|ta|n (unless a call follows: `x.ts(...)`
+      // with arguments is not the accessor idiom). Handles `params().ts`
+      // (after paren collapse), `p.ts`, `party.sim().n()`.
+      if (is_ident(toks[i]) && toks[i + 1] == "." &&
+          is_param_token(toks[i + 2]) &&
+          (i + 3 >= toks.size() || toks[i + 3] != "(")) {
+        toks.erase(toks.begin() + static_cast<std::ptrdiff_t>(i),
+                   toks.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return toks;
+}
+
+std::vector<std::string> threshold_spans(const std::string& code) {
+  const std::vector<std::string> toks = normalize_tokens(code);
+  const auto size = toks.size();
+  std::vector<bool> consumed(size, false);
+
+  const auto expandable = [&](std::size_t i) {
+    if (is_keyword(toks[i])) return false;
+    return is_ident(toks[i]) || is_number(toks[i]) || is_span_operator(toks[i]);
+  };
+
+  std::vector<std::string> spans;
+  const auto emit_span = [&](std::size_t seed) {
+    std::size_t lo = seed;
+    while (lo > 0 && expandable(lo - 1)) --lo;
+    std::size_t hi = seed;
+    while (hi + 1 < size && expandable(hi + 1)) ++hi;
+    std::string span;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      span += toks[i];
+      consumed[i] = true;
+    }
+    if (lo == hi) {
+      // Bare ts/ta: a trigger only as the right-hand side of a comparison.
+      if (lo == 0 || !is_comparison(toks[lo - 1])) return;
+      span = toks[lo - 1] + span;
+    }
+    spans.push_back(std::move(span));
+  };
+
+  for (std::size_t i = 0; i < size; ++i) {
+    if (consumed[i]) continue;
+    if (toks[i] == "ts" || toks[i] == "ta") emit_span(i);
+  }
+  // Berlekamp-Welch bound seed: the `2*e` of m >= k + 2e + 1 (Theorem 3.2).
+  for (std::size_t i = 0; i + 2 < size; ++i) {
+    if (toks[i] == "2" && toks[i + 1] == "*" && toks[i + 2] == "e" &&
+        !consumed[i + 2]) {
+      emit_span(i + 2);
+    }
+  }
+  return spans;
+}
+
+bool span_matches_form(const std::string& span, const std::string& form) {
+  if (form.size() >= 2 && form.compare(form.size() - 2, 2, "+*") == 0) {
+    const std::string prefix = form.substr(0, form.size() - 1);  // keep '+'
+    return span.size() > prefix.size() && starts_with(span, prefix.c_str());
+  }
+  return span == form;
+}
+
+std::optional<ThresholdTable> ThresholdTable::parse(
+    const std::string& json_text, std::string& error) {
+  JsonValue root;
+  if (!json_parse(json_text, root, error)) return std::nullopt;
+  if (!root.is_object()) {
+    error = "thresholds: top level must be an object";
+    return std::nullopt;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->text != "nampc-thresholds/1") {
+    error = "thresholds: missing or unknown schema (want nampc-thresholds/1)";
+    return std::nullopt;
+  }
+  const JsonValue* list = root.find("thresholds");
+  if (list == nullptr || !list->is_array()) {
+    error = "thresholds: missing 'thresholds' array";
+    return std::nullopt;
+  }
+  ThresholdTable table;
+  for (const JsonValue& item : list->items) {
+    if (!item.is_object()) {
+      error = "thresholds: entries must be objects";
+      return std::nullopt;
+    }
+    ThresholdEntry entry;
+    const JsonValue* symbol = item.find("symbol");
+    const JsonValue* forms = item.find("forms");
+    if (symbol == nullptr || !symbol->is_string() || symbol->text.empty() ||
+        forms == nullptr || !forms->is_array() || forms->items.empty()) {
+      error = "thresholds: every entry needs a symbol and a non-empty forms "
+              "array";
+      return std::nullopt;
+    }
+    entry.symbol = symbol->text;
+    if (const JsonValue* paper = item.find("paper")) entry.paper = paper->text;
+    if (const JsonValue* meaning = item.find("meaning")) {
+      entry.meaning = meaning->text;
+    }
+    for (const JsonValue& form : forms->items) {
+      if (!form.is_string() || form.text.empty()) {
+        error = "thresholds: forms must be non-empty strings";
+        return std::nullopt;
+      }
+      entry.forms.push_back(form.text);
+    }
+    if (table.find(entry.symbol) != nullptr) {
+      error = "thresholds: duplicate symbol '" + entry.symbol + "'";
+      return std::nullopt;
+    }
+    table.entries_.push_back(std::move(entry));
+  }
+  return table;
+}
+
+const ThresholdEntry* ThresholdTable::find(const std::string& symbol) const {
+  for (const ThresholdEntry& e : entries_) {
+    if (e.symbol == symbol) return &e;
+  }
+  return nullptr;
+}
+
+void pass_threshold(const ScannedFile& file, const ThresholdTable* table,
+                    std::vector<Finding>& out,
+                    std::vector<std::string>* used_symbols) {
+  if (!in_threshold_scope(file.path)) return;
+
+  const auto snippet_of = [&](int line) {
+    std::string s = file.line(line).code;
+    const auto first = s.find_first_not_of(" \t");
+    if (first != std::string::npos) s.erase(0, first);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+    return s;
+  };
+  const auto add = [&](int line, std::string rule, std::string message) {
+    Finding f;
+    f.file = file.path;
+    f.line = line;
+    f.rule = std::move(rule);
+    f.message = std::move(message);
+    f.snippet = snippet_of(line);
+    out.push_back(std::move(f));
+  };
+
+  const int count = static_cast<int>(file.lines.size());
+  for (int ln = 1; ln <= count; ++ln) {
+    const std::vector<std::string> spans =
+        threshold_spans(file.line(ln).code);
+    if (spans.empty()) continue;
+    const std::optional<std::string> symbol = threshold_symbol_for(file, ln);
+    if (!symbol.has_value()) {
+      std::string joined;
+      for (const std::string& s : spans) {
+        if (!joined.empty()) joined += ", ";
+        joined += s;
+      }
+      add(ln, kRuleThresholdMissing,
+          "threshold expression [" + joined +
+              "] has no LINT:threshold(<symbol>) annotation");
+      continue;
+    }
+    if (table == nullptr) continue;
+    const ThresholdEntry* entry = table->find(*symbol);
+    if (entry == nullptr) {
+      add(ln, kRuleThresholdUnknown,
+          "symbol '" + *symbol + "' is not in docs/THRESHOLDS.json");
+      continue;
+    }
+    if (used_symbols != nullptr) used_symbols->push_back(entry->symbol);
+    for (const std::string& span : spans) {
+      const bool ok = std::any_of(
+          entry->forms.begin(), entry->forms.end(),
+          [&](const std::string& form) { return span_matches_form(span, form); });
+      if (!ok) {
+        std::string forms;
+        for (const std::string& form : entry->forms) {
+          if (!forms.empty()) forms += ", ";
+          forms += form;
+        }
+        add(ln, kRuleThresholdMismatch,
+            "expression '" + span + "' does not match any form of '" +
+                *symbol + "' (expected: " + forms + ")");
+      }
+    }
+  }
+
+  // Orphaned annotations: the code they pointed at was refactored away.
+  for (const ThresholdAnnotation& ann : threshold_annotations(file)) {
+    if (ann.target_line != 0 &&
+        !threshold_spans(file.line(ann.target_line).code).empty()) {
+      continue;
+    }
+    add(ann.annotation_line, kRuleThresholdOrphan,
+        "LINT:threshold(" + ann.symbol +
+            ") does not govern any recognizable threshold expression");
+  }
+}
+
+}  // namespace nampc::lint

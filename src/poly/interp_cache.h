@@ -71,7 +71,11 @@ class InterpCache {
   const Basis& basis_for(const FpVec& xs);
   void maybe_trim();
 
+  // NOLINT-NAMPC(det-unordered): thread-local lookup-only caches keyed by
+  // the full evaluation-point set; entries are found or bulk-cleared, never
+  // iterated, so hash order cannot reach any protocol-visible value.
   std::unordered_map<FpVec, Basis, KeyHash, KeyEq> bases_;
+  // NOLINT-NAMPC(det-unordered): as above — lookup-only, never iterated.
   std::unordered_map<FpVec, std::unordered_map<std::uint64_t, FpVec>, KeyHash,
                      KeyEq>
       lagrange_;

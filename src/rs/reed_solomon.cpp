@@ -44,6 +44,7 @@ RsDecodeResult RsDecoder::decode(const std::vector<RsPoint>& points, int k,
                                  int e) {
   NAMPC_REQUIRE(k >= 0 && e >= 0, "rs_decode: bad parameters");
   const int n_points = static_cast<int>(points.size());
+  // LINT:threshold(rs.bw_points)
   NAMPC_REQUIRE(n_points >= k + 2 * e + 1,
                 "rs_decode: not enough points for requested correction");
 
@@ -118,16 +119,21 @@ RsDecodeResult rs_decode(const std::vector<RsPoint>& points, int k, int e) {
 
 ScheduledDecode rs_decode_scheduled(const std::vector<RsPoint>& points,
                                     int ts, int ta) {
+  // LINT:threshold(rs.schedule_precond)
   NAMPC_REQUIRE(ts >= ta && ta >= 0, "rs_decode_scheduled: need ts >= ta >= 0");
   const int m = static_cast<int>(points.size());
+  // LINT:threshold(rs.schedule_min)
   const int x = m - (ts + ta + 1);
   NAMPC_REQUIRE(x >= 0, "rs_decode_scheduled: fewer than ts+ta+1 points");
   ScheduledDecode out;
+  // LINT:threshold(rs.correct_detect_split)
   if (x <= ta) {
     out.e = x;
+    // LINT:threshold(rs.correct_detect_split)
     out.e_detect = ta - x;
   } else {
     out.e = ta;
+    // LINT:threshold(rs.correct_detect_split)
     out.e_detect = x - ta;
   }
   out.result = rs_decode(points, ts, out.e);

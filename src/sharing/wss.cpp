@@ -43,6 +43,7 @@ Wss::Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
       dealer_async_graph_(n()) {
   NAMPC_REQUIRE(options_.num_secrets >= 1, "need at least one secret");
   if (options_.z.has_value()) {
+    // LINT:threshold(wss.z_size)
     NAMPC_REQUIRE(options_.z->size() == ts() - ta(),
                   "Z must have exactly ts-ta parties");
   }
@@ -122,6 +123,7 @@ void Wss::start(std::vector<Polynomial> row0s) {
   NAMPC_REQUIRE(static_cast<int>(row0s.size()) == num_secrets(),
                 "row0 count must match num_secrets");
   for (const Polynomial& q : row0s) {
+    // LINT:threshold(wss.degree)
     NAMPC_REQUIRE(q.degree() <= ts(), "row0 degree exceeds ts");
   }
   dealer_row0s_ = std::move(row0s);
@@ -232,6 +234,7 @@ void Wss::clamp_dealer_u() {
   // lexicographically. Once ts - ta rows are public an honest dealer's
   // clique (honest ∪ U) already reaches n - ta, so dropping the excess is
   // safe — and it keeps the asynchronous-path U verifiable.
+  // LINT:threshold(wss.u_bound)
   while (dealer_u_.size() > ts() - ta()) {
     dealer_u_.erase(dealer_u_.to_vector().back());
   }
@@ -297,6 +300,7 @@ void Wss::dealer_step5(Iteration& it) {
           }
         }
       }
+      // LINT:threshold(wss.nr_accuse)
       if (nr_count > ts()) accuse = true;
     }
     if (accuse && z.contains(i)) w_set.insert(i);
@@ -307,6 +311,7 @@ void Wss::dealer_step5(Iteration& it) {
                     << " U=" << dealer_u_.str();
 
   // Already a clique of size n - ta?
+  // LINT:threshold(wss.clique_quorum)
   if (const auto big = find_clique_including(g, dealer_u_, n() - ta())) {
     NAMPC_PLOG(trace) << "dealer step5 SYNC qa=" << big->str();
     Writer w;
@@ -334,6 +339,7 @@ void Wss::dealer_step5(Iteration& it) {
     v = options_.z->minus(dealer_u_);
     exclude = exclude.union_with(v);
   }
+  // LINT:threshold(wss.continue_quorum)
   const int target = n() - ts() + dealer_u_.size();
   auto q = find_clique_including(g, dealer_u_, target, exclude);
   NAMPC_PLOG(trace) << "dealer step5 continue q="
@@ -350,6 +356,7 @@ void Wss::dealer_step5(Iteration& it) {
   }
   if (!z_conditioned()) {
     // V: lexicographically-first ts-ta-|U| parties outside Q ∪ U.
+    // LINT:threshold(wss.v_size)
     const int v_size = (ts() - ta()) - dealer_u_.size();
     for (int cand = 0; cand < n() && v.size() < v_size; ++cand) {
       if (!q->contains(cand) && !dealer_u_.contains(cand)) v.insert(cand);
@@ -419,7 +426,8 @@ void Wss::dealer_step8(Iteration& it) {
     w.u64(kTagRestart);
     w.u64(dealer_u_.mask());
   } else if (stallers.empty() &&
-             q.union_with(v).union_with(dealer_u_).size() >= n() - ta()) {
+             q.union_with(v).union_with(dealer_u_).size() >=
+                 n() - ta()) {  // LINT:threshold(wss.clique_quorum)
     // All conflicts resolved: Qa = Q ∪ V (∪ U).
     const PartySet qa = q.union_with(v).union_with(dealer_u_);
     const Graph g2 = build_report_graph(it, true);
@@ -465,14 +473,17 @@ void Wss::dealer_check_async() {
   // else any clique (a U member whose row never reached the others has no
   // AOK edges and simply stays outside).
   const auto star = find_star(a, ta());
+  // LINT:threshold(wss.clique_quorum)
   auto qa = find_clique_including(a, dealer_u_, n() - ta());
   if (!qa.has_value() && star.has_value() && star->extended &&
-      a.is_clique(star->f) && star->f.size() >= n() - ta() &&
+      a.is_clique(star->f) &&
+      star->f.size() >= n() - ta() &&  // LINT:threshold(wss.clique_quorum)
       dealer_u_.subset_of(star->f)) {
     qa = star->f;
   }
   if (!qa.has_value()) {
     const PartySet best = maximum_clique(a);
+    // LINT:threshold(wss.clique_quorum)
     if (best.size() >= n() - ta()) qa = best;
   }
   if (!qa.has_value()) {
@@ -580,6 +591,7 @@ void Wss::on_pub_broadcast(Iteration& it, const std::optional<Words>& payload) {
         discarded_ = true;  // Protocol condition: U ⊄ Z discards the dealer
         return;
       }
+      // LINT:threshold(wss.u_bound)
     } else if (u.size() > ts() - ta()) {
       return;  // invalid; treated as ⊥
     }
@@ -734,6 +746,7 @@ bool Wss::verify_sync_qa(Iteration& it, const Graph& g_payload, PartySet qa,
                          bool with_conflict_edges) {
   (void)g_payload;  // the binding check is against the locally built graph
   if (!it.pub_valid) return false;
+  // LINT:threshold(wss.clique_quorum)
   if (qa.size() < n() - ta()) return false;
   if (!it.u.subset_of(qa)) return false;
   const Graph gi = build_report_graph(it, with_conflict_edges);
@@ -773,10 +786,13 @@ void Wss::step_handle_dealer5(Iteration& it) {
         const PartySet v{r.u64()};
         // Validate Q, G, V (step 7c).
         const Graph gi = build_report_graph(it, false);
-        const bool q_ok = it.pub_valid && q.size() >= n() - ts() + it.u.size() &&
-                          it.u.subset_of(q) && gi.is_clique(q);
+        const bool q_ok =
+            it.pub_valid &&
+            q.size() >= n() - ts() + it.u.size() &&  // LINT:threshold(wss.continue_quorum)
+            it.u.subset_of(q) && gi.is_clique(q);
         const bool v_ok =
-            v.size() == (ts() - ta()) - it.u.size() &&
+            v.size() ==
+                (ts() - ta()) - it.u.size() &&  // LINT:threshold(wss.v_size)
             v.intersect(q.union_with(it.u)).empty() &&
             (!z_conditioned() || v.subset_of(*options_.z));
         if (z_conditioned() && !v.subset_of(*options_.z)) discarded_ = true;
@@ -1023,12 +1039,13 @@ void Wss::try_accept_async() {
   const PartySet u = async_u_;
   NAMPC_PLOG(trace) << "async qa=" << qa.str() << " u=" << u.str()
                     << " gate passed";
+  // LINT:threshold(wss.clique_quorum)
   if (qa.size() < n() - ta() || !u.subset_of(qa)) {
     NAMPC_PLOG(trace) << "qa size/u check failed";
     return;
   }
   if (z_conditioned() ? !u.subset_of(*options_.z)
-                      : u.size() > ts() - ta()) {
+                      : u.size() > ts() - ta()) {  // LINT:threshold(wss.u_bound)
     return;
   }
   // All of U's rows must be public.
@@ -1134,6 +1151,7 @@ void Wss::try_reconstruct() {
             {eval_point(j), (*p)[static_cast<std::size_t>(k)]});
       }
     }
+    // LINT:threshold(vss.inner_quorum)
     if (count < ts() + 1) return;  // wait for more inner outputs
     std::vector<Polynomial> decoded;
     for (int k = 0; k < num_secrets(); ++k) {
@@ -1171,7 +1189,9 @@ void Wss::try_reconstruct() {
     }
   }
   const int m = static_cast<int>(senders.size());
+  // LINT:threshold(rs.schedule_min)
   if (m < ts() + ta() + 1) return;  // wait for more points
+  // LINT:threshold(rs.schedule_min)
   const int x = m - (ts() + ta() + 1);
 
   std::vector<Polynomial> decoded;
@@ -1194,6 +1214,7 @@ void Wss::try_reconstruct() {
   // error budget beyond ta. Qa \ U alone contains >= n - ts - ta >= ts+ta+1
   // honest parties (see DESIGN.md), so retry on the non-U points.
   const int m_no_u = m - accepted_u_.size();
+  // LINT:threshold(rs.schedule_min)
   if (m_no_u >= ts() + ta() + 1) {
     std::vector<Polynomial> decoded2;
     bool ok2 = true;
@@ -1216,6 +1237,7 @@ void Wss::try_reconstruct() {
       return;
     }
   }
+  // LINT:threshold(rs.correct_detect_split)
   if (x <= ta()) return;  // Cor 3.3 regime: wait for slow honest points
 
   // Cor 3.4 regime and decoding failed => more than ta errors => the

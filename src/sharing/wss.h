@@ -51,6 +51,7 @@ struct WssOptions {
   Time check_extra = 0;
 
   [[nodiscard]] int max_iterations(const ProtocolParams& p) const {
+    // LINT:threshold(wss.iterations)
     return z.has_value() || inner_check ? p.ts + 1 : p.ts - p.ta + 1;
   }
 };

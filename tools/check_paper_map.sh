@@ -4,6 +4,9 @@
 #      token cited in DESIGN.md must appear in docs/PAPER_MAP.md.
 #   2. Anchors: every `path#symbol` anchor in docs/PAPER_MAP.md must name an
 #      existing file that contains the symbol string verbatim.
+#   3. Thresholds: every LINT:threshold(<area>.<name>) symbol annotated in
+#      src/ must appear in docs/PAPER_MAP.md (the "Threshold symbols"
+#      section) and in docs/THRESHOLDS.json.
 # Run from the repo root (CI does); exits non-zero on the first class of
 # failure found, printing every offender.
 set -u
@@ -61,7 +64,35 @@ if [[ $count -lt 10 ]]; then
   fail=1
 fi
 
+# --- 3. threshold symbols: annotations must be mapped and tabled -----------
+# The dotted <area>.<name> requirement skips the grammar placeholders in
+# src/lint's doc comments (LINT:threshold(symbol)).
+THRESHOLDS=docs/THRESHOLDS.json
+symbols=$(grep -rhoE 'LINT:threshold\([a-z0-9_]+\.[a-z0-9_]+\)' src |
+  sed 's/^LINT:threshold(//; s/)$//' | sort -u)
+symcount=0
+while IFS= read -r sym; do
+  [[ -z "$sym" ]] && continue
+  symcount=$((symcount + 1))
+  if ! grep -qF "\`$sym\`" "$MAP"; then
+    echo "UNMAPPED: threshold symbol '$sym' annotated in src/ but absent" \
+         "from $MAP"
+    fail=1
+  fi
+  if ! grep -qF "\"$sym\"" "$THRESHOLDS"; then
+    echo "UNTABLED: threshold symbol '$sym' annotated in src/ but absent" \
+         "from $THRESHOLDS"
+    fail=1
+  fi
+done <<< "$symbols"
+if [[ $symcount -lt 10 ]]; then
+  echo "SUSPICIOUS: only $symcount threshold symbols found in src/" \
+       "(expected dozens)"
+  fail=1
+fi
+
 if [[ $fail -eq 0 ]]; then
-  echo "check_paper_map: OK ($count anchors, all DESIGN.md citations mapped)"
+  echo "check_paper_map: OK ($count anchors, $symcount threshold symbols," \
+       "all DESIGN.md citations mapped)"
 fi
 exit $fail

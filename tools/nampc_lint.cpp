@@ -1,0 +1,91 @@
+// nampc_lint — project-aware static analysis for the nampc tree.
+//
+//   nampc_lint [--root DIR] [--strict] [--jobs N] [--json FILE]
+//              [--show-suppressed] [--list-rules] [PATH...]
+//
+// Runs the determinism, threshold-audit and model-boundary passes (see
+// src/lint/lint.h and DESIGN.md §9) over PATH... (default: src tools),
+// relative to --root (default: current directory, which must hold
+// docs/THRESHOLDS.json). Exit status: 0 when no active findings, 1 when
+// --strict and active findings exist, 2 on usage/configuration errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/sweep.h"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: nampc_lint [--root DIR] [--strict] [--jobs N] [--json FILE]\n"
+        "                  [--show-suppressed] [--list-rules] [PATH...]\n"
+        "\n"
+        "Project-aware static analysis: determinism, paper-threshold audit,\n"
+        "model-boundary enforcement. PATH... defaults to: src tools\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool strict = false;
+  bool show_suppressed = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const nampc::lint::RuleInfo& rule : nampc::lint::rule_catalogue()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--jobs" || arg == "-j") {
+      ++i;  // value consumed below by sweep_cli_jobs
+    } else if (arg.rfind("--jobs=", 0) == 0 || arg.rfind("-j", 0) == 0) {
+      // handled by sweep_cli_jobs
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "nampc_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  nampc::lint::Options options;
+  if (!paths.empty()) options.paths = paths;
+  options.jobs = nampc::sweep_cli_jobs(argc, argv);
+
+  nampc::lint::Report report;
+  try {
+    report = nampc::lint::lint_tree(root, options);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  report.render_text(std::cout, show_suppressed);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "nampc_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    report.render_json(out);
+  }
+  return (strict && report.active > 0) ? 1 : 0;
+}
