@@ -12,6 +12,13 @@
 // Exit 0: same shape. Exit 1: drift (differences on stdout). Exit 2: bad
 // invocation or unparseable input.
 //
+// Usage: bench_shape_diff --schema FILE.json
+// Single-file validation: the file must parse, declare schema
+// "nampc-bench/2", carry a name, the monitors section (events/violations
+// keys) and at least one section with headers and rows. Used by the
+// scaling-smoke CI job to hold BENCH_scaling.json to the schema without
+// needing a second file to diff against.
+//
 // The parser below handles exactly the JSON subset JsonWriter emits
 // (objects, arrays, strings, numbers, booleans, null; \uXXXX escapes kept
 // verbatim) and is self-contained so the tool has no library dependencies.
@@ -291,11 +298,49 @@ std::string join(const std::vector<std::string>& v) {
   return out;
 }
 
+/// --schema mode: one file, validated against the "nampc-bench/2" contract.
+int validate_schema(const std::string& path) {
+  Shape s;
+  if (!load_shape(path, s)) return 2;
+  int problems = 0;
+  auto problem = [&problems, &path](const std::string& what) {
+    ++problems;
+    std::cout << "SCHEMA " << path << ": " << what << "\n";
+  };
+  if (s.schema != "nampc-bench/2") {
+    problem("schema is '" + s.schema + "', want 'nampc-bench/2'");
+  }
+  if (s.name.empty()) problem("empty report name");
+  if (s.monitor_keys != std::vector<std::string>{"events", "violations"}) {
+    problem("monitors section must carry events + violations (got: " +
+            join(s.monitor_keys) + ")");
+  }
+  if (s.sections.empty()) problem("no sections");
+  for (std::size_t i = 0; i < s.sections.size(); ++i) {
+    const auto& sec = s.sections[i];
+    const std::string where = "section " + std::to_string(i);
+    if (sec.title.empty()) problem(where + ": empty title");
+    if (sec.headers.empty()) problem(where + ": no headers");
+    if (sec.row_count == 0) problem(where + ": no rows");
+  }
+  if (problems == 0) {
+    std::cout << "schema ok: " << s.name << " (" << s.sections.size()
+              << " sections)\n";
+    return 0;
+  }
+  std::cout << problems << " schema problem(s) in " << path << "\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--schema") {
+    return validate_schema(argv[2]);
+  }
   if (argc != 3) {
-    std::cerr << "usage: bench_shape_diff COMMITTED.json REGENERATED.json\n";
+    std::cerr << "usage: bench_shape_diff COMMITTED.json REGENERATED.json\n"
+                 "       bench_shape_diff --schema FILE.json\n";
     return 2;
   }
   Shape a, b;

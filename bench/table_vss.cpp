@@ -47,7 +47,7 @@ Result run(ProtocolParams p, NetworkKind kind, const std::string& attack,
     adv->add_rule(
         [victim = p.n - 1](const Message& m, Time) {
           return m.from == 0 && m.to == victim && m.type == 1 &&
-                 m.instance == "vss";
+                 m.instance() == "vss";
         },
         [](const Message& m, Time, Rng&) {
           SendDecision d;

@@ -23,7 +23,7 @@ ScriptedAdversary& ScriptedAdversary::silence_on(PartyId p,
       [p, frag = std::move(key_fragment), from_time](const Message& m,
                                                      Time now) {
         return m.from == p && now >= from_time &&
-               m.instance.find(frag) != std::string::npos;
+               m.instance().find(frag) != std::string::npos;
       },
       [](const Message&, Time, Rng&) {
         SendDecision d;
@@ -39,7 +39,7 @@ ScriptedAdversary& ScriptedAdversary::garble_on(PartyId p,
       [p, frag = std::move(key_fragment), from_time](const Message& m,
                                                      Time now) {
         return m.from == p && now >= from_time &&
-               m.instance.find(frag) != std::string::npos &&
+               m.instance().find(frag) != std::string::npos &&
                !m.payload.empty();
       },
       [](const Message& m, Time, Rng&) {

@@ -18,8 +18,8 @@ bool StrategyAction::matches(const Message& m, Time now) const {
     if (target >= 0 && m.to != target) return false;
   }
   if (!key.empty()) {
-    if (exact_key ? m.instance != key
-                  : m.instance.find(key) == std::string::npos) {
+    if (exact_key ? m.instance() != key
+                  : m.instance().find(key) == std::string::npos) {
       return false;
     }
   }

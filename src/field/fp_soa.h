@@ -1,0 +1,63 @@
+// Struct-of-arrays F_p buffers for the batched kernels in fp_batch.h.
+//
+// A FpGrid is a dense rows × cols matrix of field elements in one
+// contiguous allocation, row-major, so every row is directly consumable by
+// fp_dot / fp_eval_with_powers without gather copies. The scaling engine
+// uses grids for Vandermonde power tables (one row per evaluation point),
+// batched Reed-Solomon codewords (one row per polynomial) and cached
+// row-evaluation tables in Π_WSS (one row per secret).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/fp.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+class FpGrid {
+ public:
+  FpGrid() = default;
+  FpGrid(std::size_t rows, std::size_t cols) { reset(rows, cols); }
+
+  /// Resizes to rows × cols and zero-fills. Reuses the existing allocation
+  /// when it is already large enough (the reuse contract pool/bench tests
+  /// rely on: repeated reset of the same geometry allocates nothing).
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, Fp(0));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  /// Capacity of the underlying allocation, in elements (reuse telemetry).
+  [[nodiscard]] std::size_t capacity() const { return data_.capacity(); }
+
+  [[nodiscard]] Fp* row(std::size_t r) {
+    NAMPC_REQUIRE(r < rows_, "FpGrid row out of range");
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] const Fp* row(std::size_t r) const {
+    NAMPC_REQUIRE(r < rows_, "FpGrid row out of range");
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] Fp& at(std::size_t r, std::size_t c) {
+    NAMPC_REQUIRE(r < rows_ && c < cols_, "FpGrid index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Fp& at(std::size_t r, std::size_t c) const {
+    NAMPC_REQUIRE(r < rows_ && c < cols_, "FpGrid index out of range");
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Fp> data_;
+};
+
+}  // namespace nampc

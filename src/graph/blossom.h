@@ -1,0 +1,28 @@
+// Maximum matching in general graphs via Edmonds' blossom algorithm.
+//
+// The bitmask-DP matching in graph.cpp is exact but exponential; it is kept
+// for n <= 24 where the committed benches pin its (byte-stable) outputs.
+// Past that the scaling engine needs a polynomial algorithm: this is the
+// classical O(V^3) blossom-contraction search, deterministic (vertices and
+// neighbours are always scanned in increasing order), which both the
+// from-scratch matching for wide graphs and the incremental (n,t)-Star
+// maintenance (star_incremental.h) build on.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nampc {
+
+/// One augmenting-path search from unmatched vertex `root` under the current
+/// matching (match[v] = partner or -1). Returns true and flips the path if
+/// one exists; `match` is left unchanged otherwise. Precondition:
+/// match[root] == -1 and `match` is a valid (symmetric) matching of g.
+bool blossom_augment(const Graph& g, std::vector<int>& match, int root);
+
+/// A maximum matching of g: match[v] = partner or -1. Greedy seeding plus
+/// one augmenting search per remaining unmatched vertex.
+[[nodiscard]] std::vector<int> blossom_matching(const Graph& g);
+
+}  // namespace nampc

@@ -2,12 +2,15 @@
 
 #include <unordered_map>
 
+#include "graph/blossom.h"
+#include "graph/star_incremental.h"
 #include "util/assert.h"
 
 namespace nampc {
 
 Graph::Graph(int n) : n_(n), adj_(static_cast<std::size_t>(n)) {
-  NAMPC_REQUIRE(n >= 0 && n <= 24, "graph supports up to 24 vertices");
+  NAMPC_REQUIRE(n >= 0 && n <= PartySet::kMaxParties,
+                "graph supports up to 128 vertices");
 }
 
 void Graph::add_edge(int u, int v) {
@@ -37,11 +40,14 @@ Graph Graph::complement() const {
 }
 
 bool Graph::is_clique(PartySet s) const {
-  const auto members = s.to_vector();
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    for (std::size_t j = i + 1; j < members.size(); ++j) {
-      if (!has_edge(members[i], members[j])) return false;
-    }
+  // Word-parallel pair check: every member later in the order must be a
+  // neighbour of the current one. O(|s|) set operations, no allocation —
+  // this runs once per AOK arrival on the asynchronous acceptance path.
+  PartySet rest = s;
+  while (!rest.empty()) {
+    const int u = rest.first();
+    rest.erase(u);
+    if (!rest.subset_of(adj_[static_cast<std::size_t>(u)])) return false;
   }
   return true;
 }
@@ -58,16 +64,22 @@ bool Graph::edges_subset_of(const Graph& other) const {
 }
 
 void Graph::encode(Writer& w) const {
+  // One word per adjacency row up to 64 vertices (the legacy wire format,
+  // unchanged for every committed protocol run), two words beyond.
   w.u64(static_cast<std::uint64_t>(n_));
-  for (const PartySet& row : adj_) w.u64(row.mask());
+  for (const PartySet& row : adj_) {
+    w.u64(row.lo());
+    if (n_ > 64) w.u64(row.hi());
+  }
 }
 
 Graph Graph::decode(Reader& r) {
   const auto n = static_cast<int>(r.u64());
-  if (n < 0 || n > 24) throw DecodeError("bad graph size");
+  if (n < 0 || n > PartySet::kMaxParties) throw DecodeError("bad graph size");
   Graph g(n);
   for (int u = 0; u < n; ++u) {
-    const PartySet row{r.u64()};
+    const std::uint64_t lo = r.u64();
+    const PartySet row{lo, n > 64 ? r.u64() : 0};
     for (int v : row.to_vector()) {
       if (v >= n || v == u) throw DecodeError("bad adjacency row");
       if (v > u) g.add_edge(u, v);
@@ -106,6 +118,17 @@ int matching_size(const Graph& g, std::uint64_t mask,
 }  // namespace
 
 std::vector<std::pair<int, int>> maximum_matching(const Graph& g) {
+  if (g.size() > 24) {
+    // Wide graphs take the polynomial blossom path; the DP below is kept
+    // verbatim for n <= 24 so its committed outputs never drift.
+    const std::vector<int> match = blossom_matching(g);
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < g.size(); ++v) {
+      const int u = match[static_cast<std::size_t>(v)];
+      if (u > v) edges.emplace_back(v, u);
+    }
+    return edges;
+  }
   // NOLINT-NAMPC(det-unordered): memoisation table for the exact matching
   // recursion; looked up by mask only, never iterated, so hash order cannot
   // reach the (deterministic, greedy) reconstruction below.
@@ -140,91 +163,46 @@ std::vector<std::pair<int, int>> maximum_matching(const Graph& g) {
 }
 
 std::optional<StarResult> find_star(const Graph& g, int t) {
-  const int n = g.size();
+  // Maximum matching M in the complement, then the C/D/E/F construction
+  // (shared with the incremental finder in star_incremental.h).
   const Graph gc = g.complement();
-
-  // 1. Maximum matching M in the complement; N = matched vertices.
   const auto m_edges = maximum_matching(gc);
-  PartySet matched;
-  for (const auto& [u, v] : m_edges) {
-    matched.insert(u);
-    matched.insert(v);
-  }
-  const PartySet unmatched = PartySet::full(n).minus(matched);
-
-  // 2. Triangle-heads: unmatched vertices adjacent (in the complement) to
-  //    both endpoints of some matching edge.
-  PartySet triangle_heads;
-  for (int i : unmatched.to_vector()) {
-    for (const auto& [j, k] : m_edges) {
-      if (gc.has_edge(i, j) && gc.has_edge(i, k)) {
-        triangle_heads.insert(i);
-        break;
-      }
-    }
-  }
-  const PartySet c = unmatched.minus(triangle_heads);
-
-  // 3. B = matched vertices with complement-neighbours in C; D = rest.
-  PartySet b;
-  for (int j : matched.to_vector()) {
-    if (!gc.neighbors(j).intersect(c).empty()) b.insert(j);
-  }
-  const PartySet d = PartySet::full(n).minus(b);
-
-  if (c.size() < n - 2 * t || d.size() < n - t) return std::nullopt;
-
-  // 4. Extended star of [26]: E = vertices adjacent (in g) to at least
-  //    n-2t members of C; F = vertices adjacent to at least n-2t of E.
-  PartySet e_set;
-  for (int i = 0; i < n; ++i) {
-    if (g.neighbors(i).intersect(c).size() >= n - 2 * t) e_set.insert(i);
-  }
-  PartySet f_set;
-  for (int i = 0; i < n; ++i) {
-    if (g.neighbors(i).intersect(e_set).size() >= n - 2 * t) f_set.insert(i);
-  }
-
-  const bool extended = e_set.size() >= n - t && f_set.size() >= n - t;
-  return StarResult{c, d, e_set, f_set, extended};
+  return find_star_from_matching(g, gc, m_edges, t);
 }
 
 namespace {
 
-/// Bron-Kerbosch with pivoting over bitmask sets.
-void bron_kerbosch(const Graph& g, std::uint64_t r, std::uint64_t p,
-                   std::uint64_t x, PartySet& best) {
-  if (p == 0 && x == 0) {
-    if (__builtin_popcountll(r) > best.size()) best = PartySet(r);
+/// Bron-Kerbosch with pivoting over (two-word) bitmask sets. Identical
+/// branch order to the historical single-word version — vertices come off
+/// every set lowest-id first — so results are unchanged for n <= 64.
+void bron_kerbosch(const Graph& g, PartySet r, PartySet p, PartySet x,
+                   PartySet& best) {
+  if (p.empty() && x.empty()) {
+    if (r.size() > best.size()) best = r;
     return;
   }
   // Prune: even taking all of p cannot beat best.
-  if (__builtin_popcountll(r) + __builtin_popcountll(p) <=
-      best.size()) {
-    return;
-  }
+  if (r.size() + p.size() <= best.size()) return;
   // Pivot: vertex in p|x maximising neighbours in p.
-  const std::uint64_t px = p | x;
   int pivot = -1;
   int pivot_deg = -1;
-  std::uint64_t scan = px;
-  while (scan != 0) {
-    const int u = __builtin_ctzll(scan);
-    scan &= scan - 1;
-    const int deg = __builtin_popcountll(g.neighbors(u).mask() & p);
+  p.union_with(x).for_each([&](int u) {
+    const int deg = g.neighbors(u).intersect(p).size();
     if (deg > pivot_deg) {
       pivot_deg = deg;
       pivot = u;
     }
-  }
-  std::uint64_t candidates = p & ~g.neighbors(pivot).mask();
-  while (candidates != 0) {
-    const int v = __builtin_ctzll(candidates);
-    candidates &= candidates - 1;
-    const std::uint64_t nv = g.neighbors(v).mask();
-    bron_kerbosch(g, r | (1ull << v), p & nv, x & nv, best);
-    p &= ~(1ull << v);
-    x |= (1ull << v);
+  });
+  PartySet candidates = p.minus(g.neighbors(pivot));
+  while (!candidates.empty()) {
+    const int v = candidates.first();
+    candidates.erase(v);
+    const PartySet nv = g.neighbors(v);
+    PartySet rv = r;
+    rv.insert(v);
+    bron_kerbosch(g, rv, p.intersect(nv), x.intersect(nv), best);
+    p.erase(v);
+    x.insert(v);
   }
 }
 
@@ -232,7 +210,7 @@ void bron_kerbosch(const Graph& g, std::uint64_t r, std::uint64_t p,
 
 PartySet maximum_clique(const Graph& g) {
   PartySet best;
-  bron_kerbosch(g, 0, PartySet::full(g.size()).mask(), 0, best);
+  bron_kerbosch(g, {}, PartySet::full(g.size()), {}, best);
   return best;
 }
 
@@ -245,14 +223,14 @@ std::optional<PartySet> find_clique_including(const Graph& g,
 
   // Candidates: common neighbours of everything in must_include, minus
   // exclusions.
-  std::uint64_t candidates =
-      PartySet::full(g.size()).minus(must_include).minus(exclude).mask();
+  PartySet candidates =
+      PartySet::full(g.size()).minus(must_include).minus(exclude);
   for (int u : must_include.to_vector()) {
-    candidates &= g.neighbors(u).mask();
+    candidates = candidates.intersect(g.neighbors(u));
   }
 
   PartySet best;
-  bron_kerbosch(g, 0, candidates, 0, best);
+  bron_kerbosch(g, {}, candidates, {}, best);
   const PartySet result = best.union_with(must_include);
   if (result.size() >= target) return result;
   return std::nullopt;

@@ -1,0 +1,121 @@
+#include "graph/star_incremental.h"
+
+#include "graph/blossom.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+std::optional<StarResult> find_star_from_matching(
+    const Graph& g, const Graph& gc,
+    const std::vector<std::pair<int, int>>& m_edges, int t) {
+  const int n = g.size();
+
+  PartySet matched;
+  for (const auto& [u, v] : m_edges) {
+    matched.insert(u);
+    matched.insert(v);
+  }
+  const PartySet unmatched = PartySet::full(n).minus(matched);
+
+  // Triangle-heads: unmatched vertices adjacent (in the complement) to both
+  // endpoints of some matching edge.
+  PartySet triangle_heads;
+  for (int i : unmatched.to_vector()) {
+    for (const auto& [j, k] : m_edges) {
+      if (gc.has_edge(i, j) && gc.has_edge(i, k)) {
+        triangle_heads.insert(i);
+        break;
+      }
+    }
+  }
+  const PartySet c = unmatched.minus(triangle_heads);
+
+  // B = matched vertices with complement-neighbours in C; D = rest.
+  PartySet b;
+  for (int j : matched.to_vector()) {
+    if (!gc.neighbors(j).intersect(c).empty()) b.insert(j);
+  }
+  const PartySet d = PartySet::full(n).minus(b);
+
+  if (c.size() < n - 2 * t || d.size() < n - t) return std::nullopt;
+
+  // Extended star of [26]: E = vertices adjacent (in g) to at least n-2t
+  // members of C; F = vertices adjacent to at least n-2t of E.
+  PartySet e_set;
+  for (int i = 0; i < n; ++i) {
+    if (g.neighbors(i).intersect(c).size() >= n - 2 * t) e_set.insert(i);
+  }
+  PartySet f_set;
+  for (int i = 0; i < n; ++i) {
+    if (g.neighbors(i).intersect(e_set).size() >= n - 2 * t) f_set.insert(i);
+  }
+
+  const bool extended = e_set.size() >= n - t && f_set.size() >= n - t;
+  return StarResult{c, d, e_set, f_set, extended};
+}
+
+void StarFinder::reset(int n, int t) {
+  t_ = t;
+  g_ = Graph(n);
+  gc_ = g_.complement();
+  rebuild_matching();
+}
+
+void StarFinder::load(const Graph& g, int t) {
+  t_ = t;
+  g_ = g;
+  gc_ = g.complement();
+  rebuild_matching();
+}
+
+void StarFinder::rebuild_matching() {
+  match_ = blossom_matching(gc_);
+  matching_size_ = 0;
+  for (int v = 0; v < gc_.size(); ++v) {
+    if (match_[static_cast<std::size_t>(v)] > v) ++matching_size_;
+  }
+}
+
+void StarFinder::add_edge(int u, int v) {
+  NAMPC_REQUIRE(u >= 0 && u < g_.size() && v >= 0 && v < g_.size() && u != v,
+                "bad star edge");
+  if (g_.has_edge(u, v)) return;
+  g_.add_edge(u, v);
+  gc_.remove_edge(u, v);
+  if (match_[static_cast<std::size_t>(u)] != v) return;  // matching untouched
+  match_[static_cast<std::size_t>(u)] = -1;
+  match_[static_cast<std::size_t>(v)] = -1;
+  --matching_size_;
+  // Restore maximality: every augmenting path of the shrunken complement
+  // ends in u or v (see header), so at most two searches are needed — and
+  // at most one can succeed (each success consumes both free endpoints or
+  // pairs one of them with a previously free vertex).
+  if (blossom_augment(gc_, match_, u)) {
+    ++matching_size_;
+  } else if (match_[static_cast<std::size_t>(v)] == -1 &&
+             blossom_augment(gc_, match_, v)) {
+    ++matching_size_;
+  }
+}
+
+void StarFinder::sync_to(const Graph& g) {
+  NAMPC_REQUIRE(g.size() == g_.size(), "sync_to size mismatch");
+  for (int u = 0; u < g_.size(); ++u) {
+    const PartySet fresh = g.neighbors(u).minus(g_.neighbors(u));
+    for (int v : fresh.to_vector()) {
+      if (v > u) add_edge(u, v);  // symmetric edge seen once, from its low end
+    }
+  }
+}
+
+std::optional<StarResult> StarFinder::find() const {
+  std::vector<std::pair<int, int>> m_edges;
+  m_edges.reserve(static_cast<std::size_t>(matching_size_));
+  for (int v = 0; v < g_.size(); ++v) {
+    const int u = match_[static_cast<std::size_t>(v)];
+    if (u > v) m_edges.emplace_back(v, u);
+  }
+  return find_star_from_matching(g_, gc_, m_edges, t_);
+}
+
+}  // namespace nampc

@@ -1,0 +1,76 @@
+// Incremental (n,t)-Star maintenance — Protocol 4.2 under edge arrival.
+//
+// The WSS dealer re-runs the Star algorithm every time an AOK edge arrives
+// (Protocol 6.1 step 6). From scratch that is one maximum-matching
+// computation per arrival over the complement of the consistency graph. But
+// consistency edges only ever ARRIVE, i.e. the complement — where the
+// matching lives — only ever LOSES edges (each loss is one "NOK pair"
+// resolving to OK), and deleting a single edge shrinks a maximum matching by
+// at most one. StarFinder therefore repairs its matching decrementally:
+//
+//   invariant  match_ is a maximum matching of complement(g_)
+//   add_edge   if (u,v) was matched: unmatch it, then run one augmenting
+//              search from u and (if still free) one from v. Any augmenting
+//              path of the shrunken graph must end in u or v (a path between
+//              two previously-free vertices would have augmented the old
+//              maximum matching), so two searches restore the invariant.
+//
+// One arrival costs O(n^2) worst case (one blossom search) instead of a full
+// O(n^3) rebuild, and the common case — the arriving pair was not matched —
+// costs O(1). The star query itself reuses the maintained matching.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace nampc {
+
+/// Star construction from a given maximum matching of the complement (steps
+/// 2-4 of Protocol 4.2 plus the E/F extension). `find_star` is exactly this
+/// applied to a freshly computed matching.
+[[nodiscard]] std::optional<StarResult> find_star_from_matching(
+    const Graph& g, const Graph& complement,
+    const std::vector<std::pair<int, int>>& matching, int t);
+
+/// Maintains complement + maximum matching of a growing consistency graph
+/// and answers (n,t)-Star queries against the current state.
+class StarFinder {
+ public:
+  StarFinder() = default;
+  StarFinder(int n, int t) { reset(n, t); }
+
+  /// Empty consistency graph on n vertices (complement = complete graph).
+  void reset(int n, int t);
+
+  /// Bulk (re)load: adopts g as the consistency graph and recomputes the
+  /// complement matching from scratch.
+  void load(const Graph& g, int t);
+
+  /// A consistency (OK) edge arrived; repairs the matching decrementally.
+  void add_edge(int u, int v);
+
+  /// Catch up to a grown snapshot of the consistency graph: every edge of g
+  /// not yet in graph() is fed through add_edge. g must be a supergraph of
+  /// graph() (edges only ever arrive); same n.
+  void sync_to(const Graph& g);
+
+  [[nodiscard]] const Graph& graph() const { return g_; }
+  [[nodiscard]] int size() const { return g_.size(); }
+  [[nodiscard]] int matching_size() const { return matching_size_; }
+
+  /// Star query at the current graph; same contract as find_star(graph(), t).
+  [[nodiscard]] std::optional<StarResult> find() const;
+
+ private:
+  void rebuild_matching();
+
+  int t_ = 0;
+  Graph g_;                ///< consistency graph (edges arrive)
+  Graph gc_;               ///< complement (edges leave)
+  std::vector<int> match_; ///< maximum matching of gc_; match_[v] = partner
+  int matching_size_ = 0;  ///< number of matched PAIRS
+};
+
+}  // namespace nampc

@@ -1,6 +1,7 @@
 // Point-to-point messages between simulated parties.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/codec.h"
@@ -10,7 +11,15 @@ namespace nampc {
 using PartyId = int;
 
 /// A message addressed to a protocol instance on the receiving party.
-/// `instance` is the routing key (hierarchical, e.g. "vss0/it2/inner3/acast");
+///
+/// Routing keys are hierarchical strings ("vss0/it2/inner3/acast"), but the
+/// hot delivery path never touches them: every key is interned once per
+/// Simulation (ProtocolInstance construction) into a dense `instance_id`,
+/// and parties route by indexing a vector with that id. `instance_name`
+/// points at the interned string (owned by the Simulation, stable for the
+/// run) so adversary filters and tracers can still match on the text via
+/// instance() without a lookup.
+///
 /// `type` is a protocol-defined tag; `payload` is the word-encoded body.
 ///
 /// Channels are authenticated point-to-point links: what the adversary may
@@ -20,9 +29,13 @@ using PartyId = int;
 struct Message {
   PartyId from = -1;
   PartyId to = -1;
-  std::string instance;
   int type = 0;
+  std::uint32_t instance_id = 0;
+  const std::string* instance_name = nullptr;
   Words payload;
+
+  /// The routing key text (interned; valid for the simulation's lifetime).
+  [[nodiscard]] const std::string& instance() const { return *instance_name; }
 };
 
 }  // namespace nampc

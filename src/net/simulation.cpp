@@ -1,6 +1,7 @@
 #include "net/simulation.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 
@@ -8,6 +9,20 @@
 #include "obs/tracer.h"
 
 namespace nampc {
+
+namespace {
+/// Freelist cap: deliveries and sends roughly alternate, so the pool stays
+/// small in steady state; the cap only bounds pathological drain phases.
+constexpr std::size_t kPayloadPoolCap = 1u << 16;
+}  // namespace
+
+bool scaling_baseline() {
+  static const bool on = [] {
+    const char* v = std::getenv("NAMPC_SCALING_BASELINE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
 
 Simulation::Simulation(Config config, std::shared_ptr<Adversary> adversary)
     : config_(config),
@@ -28,6 +43,9 @@ Simulation::Simulation(Config config, std::shared_ptr<Adversary> adversary)
   for (int i = 0; i < config_.params.n; ++i) {
     parties_.push_back(std::make_unique<Party>(*this, i));
   }
+  last_arrival_.assign(static_cast<std::size_t>(config_.params.n) *
+                           static_cast<std::size_t>(config_.params.n),
+                       0);
 }
 
 Simulation::~Simulation() {
@@ -47,10 +65,55 @@ Party& Simulation::party(PartyId id) {
   return *parties_[static_cast<std::size_t>(id)];
 }
 
+void Simulation::push_event(Event ev) {
+  queue_.push(std::move(ev));
+  if (queue_.size() > metrics_.peak_queue_depth) {
+    metrics_.peak_queue_depth = queue_.size();
+  }
+}
+
 void Simulation::schedule(Time t, std::function<void()> fn, int klass) {
   NAMPC_REQUIRE(t >= now_, "cannot schedule in the past");
   if (tracer_) tracer_->on_schedule(t, klass);
-  queue_.push(Event{t, klass, seq_++, std::move(fn)});
+  push_event(Event{t, klass, seq_++, /*is_delivery=*/false, std::move(fn), {}});
+}
+
+void Simulation::schedule_delivery(Time t, Message msg) {
+  NAMPC_REQUIRE(t >= now_, "cannot schedule in the past");
+  if (tracer_) tracer_->on_schedule(t, /*klass=*/0);
+  push_event(
+      Event{t, /*klass=*/0, seq_++, /*is_delivery=*/true, {}, std::move(msg)});
+}
+
+std::uint32_t Simulation::intern_instance(const std::string& key) {
+  const auto it = instance_ids_.find(key);
+  if (it != instance_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(instance_names_.size());
+  instance_names_.push_back(key);
+  instance_ids_.emplace(key, id);
+  return id;
+}
+
+Words Simulation::pooled_copy(const Words& src) {
+  if (scaling_baseline() || payload_pool_.empty()) {
+    metrics_.payload_pool_misses++;
+    return src;
+  }
+  Words w = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  w.assign(src.begin(), src.end());
+  metrics_.payload_pool_hits++;
+  return w;
+}
+
+void Simulation::recycle_payload(Words&& payload) {
+  if (scaling_baseline() || payload.capacity() == 0 ||
+      payload_pool_.size() >= kPayloadPoolCap) {
+    return;
+  }
+  payload.clear();
+  payload_pool_.push_back(std::move(payload));
+  metrics_.payloads_recycled++;
 }
 
 Time Simulation::default_delay(PartyId from, PartyId to) {
@@ -68,18 +131,16 @@ void Simulation::post_message(Message msg) {
   metrics_.messages_sent++;
   metrics_.words_sent += msg.payload.size();
   if (tracer_) {
-    tracer_->on_send(msg.from, msg.instance, msg.payload.size());
+    tracer_->on_send(msg.from, msg.instance(), msg.payload.size());
   }
 
   // Self-delivery bypasses the network (a party talking to itself).
   if (msg.from == msg.to) {
     if (tracer_) {
       tracer_->on_flow(msg.from, msg.to, msg.payload.size(), now_, now_,
-                       msg.instance);
+                       msg.instance());
     }
-    const PartyId to = msg.to;
-    schedule(now_, [this, to, m = std::move(msg)] { party(to).deliver(m); },
-             /*klass=*/0);
+    schedule_delivery(now_, std::move(msg));
     return;
   }
 
@@ -124,19 +185,18 @@ void Simulation::post_message(Message msg) {
   Time arrival = now_ + delay;
   if (config_.kind == NetworkKind::synchronous) {
     // FIFO per channel (§3.1: "delivered in the same order they are sent").
-    Time& last = last_arrival_[{final_msg.from, final_msg.to}];
+    Time& last = last_arrival_[static_cast<std::size_t>(final_msg.from) *
+                                   static_cast<std::size_t>(n()) +
+                               static_cast<std::size_t>(final_msg.to)];
     arrival = std::max(arrival, last);
     last = arrival;
   }
 
   if (tracer_) {
     tracer_->on_flow(final_msg.from, final_msg.to, final_msg.payload.size(),
-                     now_, arrival, final_msg.instance);
+                     now_, arrival, final_msg.instance());
   }
-  const PartyId to = final_msg.to;
-  schedule(
-      arrival, [this, to, m = std::move(final_msg)] { party(to).deliver(m); },
-      /*klass=*/0);
+  schedule_delivery(arrival, std::move(final_msg));
 }
 
 RunStatus Simulation::run() {
@@ -156,10 +216,18 @@ RunStatus Simulation::run() {
     const Event& top = queue_.top();
     if (top.time >= config_.horizon) return RunStatus::horizon;
     now_ = top.time;
-    auto fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
-    metrics_.events_processed++;
-    fn();
+    if (top.is_delivery) {
+      Message m = std::move(const_cast<Event&>(top).msg);
+      queue_.pop();
+      metrics_.events_processed++;
+      party(m.to).deliver(m);
+      recycle_payload(std::move(m.payload));
+    } else {
+      auto fn = std::move(const_cast<Event&>(top).fn);
+      queue_.pop();
+      metrics_.events_processed++;
+      fn();
+    }
   }
   // Monitors first: a quiescence violation should be recorded (and
   // reported to whoever reads the engine) even when the privacy-audit
@@ -190,34 +258,43 @@ Party::~Party() = default;
 
 bool Party::corrupt() const { return sim_.adversary().is_corrupt(id_); }
 
-void Party::register_instance(ProtocolInstance& inst) {
-  const std::string& key = inst.key();
-  NAMPC_REQUIRE(router_.find(key) == router_.end(),
-                "duplicate protocol instance key: " + key);
-  router_[key] = &inst;
-  const auto it = pending_.find(key);
-  if (it != pending_.end()) {
-    // Flush buffered messages as fresh events so handlers never run inside
-    // the constructor call stack of the instance they target.
-    for (Message& m : it->second) {
-      sim_.schedule(
-          sim_.now(), [this, msg = std::move(m)] { deliver(msg); },
-          /*klass=*/0);
-    }
-    pending_.erase(it);
+void Party::ensure_slot(std::uint32_t instance_id) {
+  if (instance_id >= router_.size()) {
+    router_.resize(instance_id + 1, nullptr);
+    pending_.resize(instance_id + 1);
   }
 }
 
-void Party::unregister_instance(const std::string& key) { router_.erase(key); }
+void Party::register_instance(ProtocolInstance& inst) {
+  const std::uint32_t id = inst.instance_id();
+  ensure_slot(id);
+  NAMPC_REQUIRE(router_[id] == nullptr,
+                "duplicate protocol instance key: " + inst.key());
+  router_[id] = &inst;
+  if (!pending_[id].empty()) {
+    // Flush buffered messages as fresh events so handlers never run inside
+    // the constructor call stack of the instance they target.
+    std::vector<Message> buffered = std::move(pending_[id]);
+    pending_[id].clear();
+    for (Message& m : buffered) {
+      sim_.schedule_delivery(sim_.now(), std::move(m));
+    }
+  }
+}
+
+void Party::unregister_instance(std::uint32_t instance_id) {
+  if (instance_id < router_.size()) router_[instance_id] = nullptr;
+}
 
 void Party::deliver(const Message& msg) {
-  const auto it = router_.find(msg.instance);
-  if (it == router_.end()) {
-    pending_[msg.instance].push_back(msg);
+  ensure_slot(msg.instance_id);
+  ProtocolInstance* inst = router_[msg.instance_id];
+  if (inst == nullptr) {
+    pending_[msg.instance_id].push_back(msg);
     return;
   }
   try {
-    it->second->on_message(msg);
+    inst->on_message(msg);
   } catch (const DecodeError&) {
     // Malformed payload from a corrupt sender: ignore, as an implementation
     // of "treat as misbehaviour".
@@ -225,7 +302,9 @@ void Party::deliver(const Message& msg) {
 }
 
 ProtocolInstance::ProtocolInstance(Party& party, std::string key)
-    : party_(party), key_(std::move(key)) {
+    : party_(party),
+      key_(std::move(key)),
+      instance_id_(party.sim().intern_instance(key_)) {
   // The span opens here (not at registration) so that span_kind/phase calls
   // from subclass constructors already find it; the base constructor runs
   // first, so parent spans exist before their children's.
@@ -238,22 +317,23 @@ ProtocolInstance::~ProtocolInstance() {
   if (auto* tracer = party_.sim().tracer()) {
     tracer->close_span(party_.id(), key_, party_.sim().now());
   }
-  party_.unregister_instance(key_);
+  party_.unregister_instance(instance_id_);
 }
 
 void ProtocolInstance::send(PartyId to, int type, Words payload) {
   Message msg;
   msg.from = my_id();
   msg.to = to;
-  msg.instance = key_;
   msg.type = type;
+  msg.instance_id = instance_id_;
+  msg.instance_name = &sim().instance_name(instance_id_);
   msg.payload = std::move(payload);
   sim().post_message(std::move(msg));
 }
 
 void ProtocolInstance::send_all(int type, const Words& payload) {
   for (int to = 0; to < n(); ++to) {
-    send(to, type, payload);
+    send(to, type, sim().pooled_copy(payload));
   }
 }
 

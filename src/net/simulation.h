@@ -13,6 +13,8 @@
 // silent forever.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,6 +39,12 @@ class MonitorEngine;
 
 class Party;
 class ProtocolInstance;
+
+/// True when NAMPC_SCALING_BASELINE is set in the environment: disables the
+/// scaling-path optimisations that have a behaviour-identical slow twin
+/// (payload pooling, batched row generation, incremental star maintenance)
+/// so the speedup they buy can be measured in-place. Read once per process.
+[[nodiscard]] bool scaling_baseline();
 
 /// Why Simulation::run returned.
 enum class RunStatus {
@@ -133,6 +141,31 @@ class Simulation {
   /// step "at time T" observes every message that arrived "by time T".
   void schedule(Time t, std::function<void()> fn, int klass = 1);
 
+  /// Schedules a message delivery at absolute time t. Deliveries carry the
+  /// Message inline in the event (klass 0) — no closure allocation on the
+  /// hot path, which at n = 64 runs tens of millions of times.
+  void schedule_delivery(Time t, Message msg);
+
+  /// Interns a protocol-instance routing key, returning its dense id.
+  /// Keys are identical across parties, so each logical instance interns
+  /// exactly once; parties route deliveries by indexing with the id.
+  [[nodiscard]] std::uint32_t intern_instance(const std::string& key);
+  /// The interned key text for `id` (stable address for the run).
+  [[nodiscard]] const std::string& instance_name(std::uint32_t id) const {
+    return instance_names_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::uint32_t instance_count() const {
+    return static_cast<std::uint32_t>(instance_names_.size());
+  }
+
+  /// Copies `src` into a payload buffer drawn from the freelist pool
+  /// (send_all fans one payload out to n recipients; reusing delivered
+  /// buffers avoids n fresh heap allocations per broadcast). Falls back to
+  /// a plain copy under scaling_baseline().
+  [[nodiscard]] Words pooled_copy(const Words& src);
+  /// Returns a delivered payload's buffer to the freelist.
+  void recycle_payload(Words&& payload);
+
   /// Sends a message through the adversarial network. The adversary's
   /// SendDecision is applied under the model-enforcement contract of
   /// net/adversary.h (honest integrity, Δ-clamping, FIFO); the delivery
@@ -156,11 +189,16 @@ class Simulation {
   }
 
  private:
+  /// Queue entry. Deliveries (klass 0) carry the Message inline —
+  /// `is_delivery` selects which member is live — so the dominant event
+  /// kind costs no std::function heap allocation.
   struct Event {
     Time time;
     int klass;
     std::uint64_t seq;
+    bool is_delivery = false;
     std::function<void()> fn;
+    Message msg;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -174,6 +212,8 @@ class Simulation {
 
   void audit_privacy() const;
 
+  void push_event(Event ev);
+
   Config config_;
   Timing timing_;
   std::shared_ptr<Adversary> adversary_;
@@ -185,8 +225,14 @@ class Simulation {
   std::uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<Party>> parties_;
-  std::map<std::pair<PartyId, PartyId>, Time> last_arrival_;  // FIFO (sync)
+  std::vector<Time> last_arrival_;  // FIFO (sync), indexed from * n + to
   std::map<std::string, std::shared_ptr<void>> gadgets_;
+  // Instance-key interner: dense ids for vector routing (see message.h).
+  // The deque keeps every interned string at a stable address.
+  std::map<std::string, std::uint32_t> instance_ids_;
+  std::deque<std::string> instance_names_;
+  // Freelist of delivered payload buffers, reused by pooled_copy.
+  std::vector<Words> payload_pool_;
 };
 
 /// One simulated party: routes messages to protocol instances by key and
@@ -217,17 +263,21 @@ class Party {
   }
 
   void register_instance(ProtocolInstance& inst);
-  void unregister_instance(const std::string& key);
+  void unregister_instance(std::uint32_t instance_id);
 
   /// Routes (or buffers) an arriving message. Called by the simulator.
   void deliver(const Message& msg);
 
  private:
+  void ensure_slot(std::uint32_t instance_id);
+
   Simulation& sim_;
   PartyId id_;
   Rng rng_;
-  std::map<std::string, ProtocolInstance*> router_;
-  std::map<std::string, std::vector<Message>> pending_;
+  // Indexed by interned instance id (grow-on-demand): the per-delivery
+  // string-map lookup this replaces dominated the n = 64 routing profile.
+  std::vector<ProtocolInstance*> router_;
+  std::vector<std::vector<Message>> pending_;
   std::vector<std::unique_ptr<ProtocolInstance>> roots_;
 };
 
@@ -256,6 +306,8 @@ class ProtocolInstance {
   ProtocolInstance& operator=(const ProtocolInstance&) = delete;
 
   [[nodiscard]] const std::string& key() const { return key_; }
+  /// Dense per-Simulation id of key() (see Simulation::intern_instance).
+  [[nodiscard]] std::uint32_t instance_id() const { return instance_id_; }
 
   virtual void on_message(const Message& msg) = 0;
 
@@ -330,6 +382,7 @@ class ProtocolInstance {
  private:
   Party& party_;
   std::string key_;
+  std::uint32_t instance_id_;
   std::string kind_;  ///< primitive kind from span_kind; "" until tagged
   std::vector<std::unique_ptr<ProtocolInstance>> children_;
 };

@@ -33,7 +33,7 @@ struct ProtocolParams {
   }
 
   void validate() const {
-    NAMPC_REQUIRE(n >= 1 && n <= 24, "n out of supported range [1,24]");
+    NAMPC_REQUIRE(n >= 1 && n <= 128, "n out of supported range [1,128]");
     NAMPC_REQUIRE(0 <= ta && ta <= ts && ts < n,
                   "need 0 <= ta <= ts < n (ta > ts reduces to pure async)");
     NAMPC_REQUIRE(feasible(), "params violate n > 2*max(ts,ta)+max(2ta,ts)");

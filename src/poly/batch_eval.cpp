@@ -1,0 +1,69 @@
+#include "poly/batch_eval.h"
+
+#include "field/fp_batch.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+BatchEval& BatchEval::local() {
+  static thread_local BatchEval cache;
+  return cache;
+}
+
+void BatchEval::clear() {
+  tables_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+const FpGrid& BatchEval::vandermonde(int n, std::size_t width) {
+  NAMPC_REQUIRE(n >= 0 && width > 0, "bad vandermonde geometry");
+  const auto key = std::make_pair(n, width);
+  const auto it = tables_.find(key);
+  if (it != tables_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  FpGrid grid(static_cast<std::size_t>(n), width);
+  for (int j = 0; j < n; ++j) {
+    fp_powers(eval_point(j), grid.row(static_cast<std::size_t>(j)), width);
+  }
+  return tables_.emplace(key, std::move(grid)).first->second;
+}
+
+void BatchEval::eval_at_parties(const Polynomial& poly, int n, FpVec& out) {
+  out.resize(static_cast<std::size_t>(n));
+  const FpVec& coeffs = poly.coeffs();
+  if (coeffs.empty()) {
+    for (Fp& v : out) v = Fp(0);
+    return;
+  }
+  const FpGrid& v = vandermonde(n, coeffs.size());
+  for (int j = 0; j < n; ++j) {
+    out[static_cast<std::size_t>(j)] =
+        fp_dot(coeffs.data(), v.row(static_cast<std::size_t>(j)),
+               coeffs.size());
+  }
+}
+
+void BatchEval::eval_many_at_parties(const std::vector<Polynomial>& polys,
+                                     int n, FpGrid& out) {
+  out.reset(polys.size(), static_cast<std::size_t>(n));
+  // One table at the family's widest geometry covers every member: a
+  // narrower coefficient vector just uses a prefix of each power row.
+  std::size_t width = 0;
+  for (const Polynomial& p : polys) width = std::max(width, p.coeffs().size());
+  if (width == 0) return;
+  const FpGrid& v = vandermonde(n, width);
+  for (std::size_t k = 0; k < polys.size(); ++k) {
+    const FpVec& coeffs = polys[k].coeffs();
+    Fp* row = out.row(k);
+    for (int j = 0; j < n; ++j) {
+      row[j] = fp_dot(coeffs.data(), v.row(static_cast<std::size_t>(j)),
+                      coeffs.size());
+    }
+  }
+}
+
+}  // namespace nampc

@@ -1,6 +1,7 @@
 #include "poly/bivariate.h"
 
 #include "field/fp_batch.h"
+#include "poly/batch_eval.h"
 
 namespace nampc {
 
@@ -67,6 +68,30 @@ Polynomial SymBivariate::row(Fp y0) const {
     coeffs[i] = fp_dot(b_[i].data(), powers.data(), n);
   }
   return Polynomial(std::move(coeffs));
+}
+
+std::vector<Polynomial> SymBivariate::rows_for_parties(int n) const {
+  // row_j's coefficient i is <b_[i], powers(α_{j+1})>: with the power rows
+  // for all n points cached in one Vandermonde table, the whole row family
+  // is the matrix-matrix product B · Vᵀ. Same dots as row(), so the
+  // resulting polynomials are bit-identical to the per-party path.
+  const std::size_t width = b_.size();
+  std::vector<Polynomial> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  if (width == 0) {
+    rows.assign(static_cast<std::size_t>(n), Polynomial{});
+    return rows;
+  }
+  const FpGrid& v = BatchEval::local().vandermonde(n, width);
+  FpVec coeffs(width);
+  for (int j = 0; j < n; ++j) {
+    const Fp* powers = v.row(static_cast<std::size_t>(j));
+    for (std::size_t i = 0; i < width; ++i) {
+      coeffs[i] = fp_dot(b_[i].data(), powers, width);
+    }
+    rows.emplace_back(coeffs);
+  }
+  return rows;
 }
 
 }  // namespace nampc

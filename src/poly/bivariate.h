@@ -38,6 +38,12 @@ class SymBivariate {
     return row(eval_point(party_id));
   }
 
+  /// All n party rows at once: out[j] = row_for_party(j), bit-identical to
+  /// the per-party calls but with the power table built once per geometry
+  /// (BatchEval cache) instead of once per row — the dealer's O(n) row
+  /// generation per secret collapses into one matrix-matrix product.
+  [[nodiscard]] std::vector<Polynomial> rows_for_parties(int n) const;
+
   [[nodiscard]] Fp secret() const { return eval(Fp(0), Fp(0)); }
 
   /// Coefficient b_ij.

@@ -1,0 +1,39 @@
+#include "rs/rs_encode.h"
+
+#include "field/fp_batch.h"
+#include "poly/batch_eval.h"
+#include "util/assert.h"
+
+namespace nampc {
+
+FpVec rs_encode(const Polynomial& poly, int n) {
+  FpVec out;
+  BatchEval::local().eval_at_parties(poly, n, out);
+  return out;
+}
+
+void rs_encode_batch(const std::vector<Polynomial>& polys, int n, int d,
+                     FpGrid& out) {
+  NAMPC_REQUIRE(n >= 1 && d >= 0, "bad encode geometry");
+  for (const Polynomial& p : polys) {
+    NAMPC_REQUIRE(p.degree() <= d, "polynomial exceeds the encode degree");
+  }
+  out.reset(polys.size(), static_cast<std::size_t>(n));
+  if (polys.empty()) return;
+  // The geometry's full-width table; members of lower degree use a prefix
+  // of each power row, so one table serves the whole family.
+  const FpGrid& v =
+      BatchEval::local().vandermonde(n, static_cast<std::size_t>(d) + 1);
+  for (std::size_t k = 0; k < polys.size(); ++k) {
+    const FpVec& coeffs = polys[k].coeffs();
+    Fp* row = out.row(k);
+    if (coeffs.empty()) continue;  // zero polynomial: row stays zero
+    for (int j = 0; j < n; ++j) {
+      row[static_cast<std::size_t>(j)] =
+          fp_dot(coeffs.data(), v.row(static_cast<std::size_t>(j)),
+                 coeffs.size());
+    }
+  }
+}
+
+}  // namespace nampc

@@ -1,0 +1,32 @@
+// Reed-Solomon encoding over the party points (§3.5 codeword geometry).
+//
+// A codeword of polynomial f is (f(α_1), ..., f(α_n)) with α_j =
+// eval_point(j-1). Protocols encode whole families of polynomials with one
+// shared geometry (n parties, degree bound d): the dealer's n rows per
+// secret, the L-secret batches of Π_WSS, the X/Y/Z triples of Π_VTS. The
+// batched entry point computes the family as one Vandermonde matrix-matrix
+// product — the (n, d) power table is built once (BatchEval's thread-local
+// cache) and every codeword is a row of batched fp_dot calls against it.
+//
+// Bit-identical to evaluating each polynomial point by point (exact field
+// arithmetic; see fp_batch.h) — asserted by tests/test_scaling.cpp.
+#pragma once
+
+#include <vector>
+
+#include "field/fp_soa.h"
+#include "poly/polynomial.h"
+
+namespace nampc {
+
+/// Codeword of one polynomial over the first n party points:
+/// out[j] = poly(eval_point(j)).
+[[nodiscard]] FpVec rs_encode(const Polynomial& poly, int n);
+
+/// Batched multi-codeword encode: out.at(k, j) = polys[k](eval_point(j)).
+/// Every member must satisfy degree() <= d (checked); d fixes the shared
+/// geometry so repeated batches of the same shape reuse one power table.
+void rs_encode_batch(const std::vector<Polynomial>& polys, int n, int d,
+                     FpGrid& out);
+
+}  // namespace nampc

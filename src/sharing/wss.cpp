@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rs/reed_solomon.h"
+#include "rs/rs_encode.h"
 
 namespace nampc {
 
@@ -42,6 +43,7 @@ Wss::Wss(Party& party, std::string key, PartyId dealer, Time nominal_start,
       on_output_(std::move(on_output)),
       dealer_async_graph_(n()) {
   NAMPC_REQUIRE(options_.num_secrets >= 1, "need at least one secret");
+  aok_edges_from_.resize(static_cast<std::size_t>(n()));
   if (options_.z.has_value()) {
     // LINT:threshold(wss.z_size)
     NAMPC_REQUIRE(options_.z->size() == ts() - ta(),
@@ -137,12 +139,57 @@ void Wss::start(std::vector<Polynomial> row0s) {
   for (const Polynomial& q : dealer_row0s_) {
     bivariates_.push_back(SymBivariate::random_with_row0(q, ts(), rng()));
   }
+  if (!scaling_baseline()) {
+    // The bivariates never change after this point, so the full row family
+    // and the n×n committed-point grid per secret are computed once — every
+    // later send/expect against them becomes a table lookup.
+    dealer_rows_.reserve(bivariates_.size());
+    dealer_points_.resize(bivariates_.size());
+    for (std::size_t k = 0; k < bivariates_.size(); ++k) {
+      dealer_rows_.push_back(bivariates_[k].rows_for_parties(n()));
+      rs_encode_batch(dealer_rows_[k], n(), ts(), dealer_points_[k]);
+    }
+  }
   // start() may be invoked at (or after) the iteration's nominal start —
   // e.g. an inner VSS instance whose outer layer hands it input exactly at
   // T_BC, or a slow dealer in an asynchronous network. Distribute now.
   if (!iterations_.empty() && now() >= iterations_.back()->start) {
     dealer_start_iteration(*iterations_.back());
   }
+}
+
+// -------------------------------------------------------- scaling caches --
+
+Fp Wss::row_point(int k, int j) const {
+  if (row_points_ready_) {
+    return row_points_.at(static_cast<std::size_t>(k),
+                          static_cast<std::size_t>(j));
+  }
+  return rows_[static_cast<std::size_t>(k)].eval(eval_point(j));
+}
+
+std::vector<Polynomial> Wss::dealer_rows_for(int j) const {
+  std::vector<Polynomial> rows;
+  rows.reserve(bivariates_.size());
+  if (!dealer_rows_.empty()) {
+    for (const auto& family : dealer_rows_) {
+      rows.push_back(family[static_cast<std::size_t>(j)]);
+    }
+  } else {
+    for (const SymBivariate& f : bivariates_) {
+      rows.push_back(f.row_for_party(j));
+    }
+  }
+  return rows;
+}
+
+Fp Wss::dealer_point(int k, int owner, int at) const {
+  if (!dealer_points_.empty()) {
+    return dealer_points_[static_cast<std::size_t>(k)].at(
+        static_cast<std::size_t>(owner), static_cast<std::size_t>(at));
+  }
+  return bivariates_[static_cast<std::size_t>(k)].eval(eval_point(at),
+                                                       eval_point(owner));
 }
 
 // ------------------------------------------------------------ iterations --
@@ -248,23 +295,14 @@ void Wss::dealer_start_iteration(Iteration& it) {
   // Send row polynomials to every party.
   for (int j = 0; j < n(); ++j) {
     Writer w;
-    std::vector<Polynomial> rows_j;
-    rows_j.reserve(bivariates_.size());
-    for (const SymBivariate& f : bivariates_) {
-      rows_j.push_back(f.row_for_party(j));
-    }
-    encode_polys(w, rows_j);
+    encode_polys(w, dealer_rows_for(j));
     send(j, kRow, std::move(w).take());
   }
   // Broadcast (U, rows of U).
   Writer w;
   w.u64(dealer_u_.mask());
   for (int u : dealer_u_.to_vector()) {
-    std::vector<Polynomial> rows_u;
-    for (const SymBivariate& f : bivariates_) {
-      rows_u.push_back(f.row_for_party(u));
-    }
-    encode_polys(w, rows_u);
+    encode_polys(w, dealer_rows_for(u));
   }
   it.pub->start(std::move(w).take());
 }
@@ -294,9 +332,9 @@ void Wss::dealer_step5(Iteration& it) {
         if (e.tag == REntry::Tag::nr) ++nr_count;
         if (e.tag == REntry::Tag::vals) {
           for (int k = 0; k < num_secrets(); ++k) {
-            const Fp expect = bivariates_[static_cast<std::size_t>(k)].eval(
-                eval_point(j), eval_point(i));
-            if (e.vals[static_cast<std::size_t>(k)] != expect) accuse = true;
+            if (e.vals[static_cast<std::size_t>(k)] != dealer_point(k, i, j)) {
+              accuse = true;
+            }
           }
         }
       }
@@ -398,9 +436,7 @@ void Wss::dealer_step8(Iteration& it) {
                 const FpVec vals = decode_values(r, num_secrets());
                 ok = static_cast<int>(vals.size()) == num_secrets();
                 for (int s = 0; ok && s < num_secrets(); ++s) {
-                  const Fp expect =
-                      bivariates_[static_cast<std::size_t>(s)].eval(
-                          eval_point(about), eval_point(speaker));
+                  const Fp expect = dealer_point(s, speaker, about);
                   if (vals[static_cast<std::size_t>(s)] != expect) ok = false;
                 }
               }
@@ -472,9 +508,45 @@ void Wss::dealer_check_async() {
   // the dealer announces exactly that. Preference: a clique containing U,
   // else any clique (a U member whose row never reached the others has no
   // AOK edges and simply stays outside).
-  const auto star = find_star(a, ta());
+  //
+  // Observable behaviour is clique-first: the star fallback requires
+  // star->f to itself be an (n - ta)-clique containing U, and the exact
+  // Bron-Kerbosch search already finds one whenever it exists — so the star
+  // only needs computing (and only matters as the paper's fast detector)
+  // when the clique search comes up empty. Under NAMPC_SCALING_BASELINE the
+  // historical order (star first, from scratch, every call) is kept.
+  std::optional<StarResult> star;
+  if (scaling_baseline()) {
+    star = find_star(a, ta());
+  } else {
+    // Degree gate: an (n - ta)-clique needs n - ta vertices of degree at
+    // least n - ta - 1. Early AOK trickle fails this cheaply, skipping the
+    // exponential clique searches (and the star) entirely.
+    int rich = 0;
+    for (int i = 0; i < n(); ++i) {
+      // LINT:threshold(wss.degree_gate)
+      if (a.neighbors(i).size() >= n() - ta() - 1) ++rich;
+    }
+    if (rich < n() - ta()) {  // LINT:threshold(wss.clique_quorum)
+      NAMPC_PLOG(trace) << "dealer async: degree gate (" << rich << ")";
+      return;
+    }
+  }
   // LINT:threshold(wss.clique_quorum)
   auto qa = find_clique_including(a, dealer_u_, n() - ta());
+  if (!qa.has_value() && !scaling_baseline()) {
+    // The AOK graph for a fixed U only ever gains edges; the incremental
+    // finder repairs its complement matching per arrival instead of
+    // rebuilding. A U change invalidates the edge semantics — reload.
+    if (!dealer_star_loaded_ || !(dealer_star_u_ == dealer_u_)) {
+      dealer_star_.load(a, ta());
+      dealer_star_u_ = dealer_u_;
+      dealer_star_loaded_ = true;
+    } else {
+      dealer_star_.sync_to(a);
+    }
+    star = dealer_star_.find();
+  }
   if (!qa.has_value() && star.has_value() && star->extended &&
       a.is_clique(star->f) &&
       star->f.size() >= n() - ta() &&  // LINT:threshold(wss.clique_quorum)
@@ -502,11 +574,7 @@ void Wss::dealer_check_async() {
   // still verify and reconstruct ("P_i obtains points of parties in U from
   // the dealer's broadcast", Protocol 6.2).
   for (int u : u_in_qa.to_vector()) {
-    std::vector<Polynomial> rows_u;
-    for (const SymBivariate& f : bivariates_) {
-      rows_u.push_back(f.row_for_party(u));
-    }
-    encode_polys(w, rows_u);
+    encode_polys(w, dealer_rows_for(u));
   }
   async_bcast_->start(std::move(w).take());
 }
@@ -522,6 +590,13 @@ void Wss::on_message(const Message& msg) {
     rows_ = std::move(rows);
     have_rows_ = true;
     rows_time_ = now();
+    if (!scaling_baseline()) {
+      // Rows never change once accepted: batch-encode them over all n party
+      // points now (one Vandermonde product) so the per-peer evaluations in
+      // the point exchange, reports, AOKs and reconstruction are lookups.
+      rs_encode_batch(rows_, n(), ts(), row_points_);
+      row_points_ready_ = true;
+    }
     step_send_points();
     for (int j = 0; j < n(); ++j) maybe_send_aok(j);
   } else if (msg.type == kPoint) {
@@ -573,7 +648,7 @@ void Wss::step_send_points() {
     FpVec vals;
     vals.reserve(static_cast<std::size_t>(num_secrets()));
     for (int k = 0; k < num_secrets(); ++k) {
-      vals.push_back(rows_[static_cast<std::size_t>(k)].eval(eval_point(j)));
+      vals.push_back(row_point(k, j));
     }
     encode_values(w, vals);
     send(j, kPoint, std::move(w).take());
@@ -638,7 +713,7 @@ void Wss::step_report(Iteration& it) {
       REntry& e = rv[static_cast<std::size_t>(j)];
       FpVec mine;
       for (int k = 0; k < num_secrets(); ++k) {
-        mine.push_back(rows_[static_cast<std::size_t>(k)].eval(eval_point(j)));
+        mine.push_back(row_point(k, j));
       }
       if (it.u.contains(j)) {
         e.tag = REntry::Tag::vals;
@@ -899,8 +974,7 @@ void Wss::start_conflict_broadcasts(Iteration& it) {
           FpVec vals;
           if (have) {
             for (int s = 0; s < num_secrets(); ++s) {
-              vals.push_back(
-                  rows_[static_cast<std::size_t>(s)].eval(eval_point(about)));
+              vals.push_back(row_point(s, about));
             }
           }
           encode_values(w, vals);
@@ -998,7 +1072,7 @@ void Wss::maybe_send_aok(int j) {
   if (!have_rows_ || j == my_id() || aok_sent_.contains(j)) return;
   FpVec mine;
   for (int k = 0; k < num_secrets(); ++k) {
-    mine.push_back(rows_[static_cast<std::size_t>(k)].eval(eval_point(j)));
+    mine.push_back(row_point(k, j));
   }
   bool consistent = false;
   if (u_known_.contains(j)) {
@@ -1259,8 +1333,7 @@ void Wss::try_reconstruct() {
           rv.empty() ? nullptr : &rv[static_cast<std::size_t>(my_id())];
       FpVec mine;
       for (int k = 0; k < num_secrets(); ++k) {
-        mine.push_back(
-            rows_[static_cast<std::size_t>(k)].eval(eval_point(j)));
+        mine.push_back(row_point(k, j));
       }
       // (b) a clique member accused me with a value different from our true
       // common point: the dealer admitted an inconsistent party — ⊥.

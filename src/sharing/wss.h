@@ -33,7 +33,9 @@
 
 #include "broadcast/ba.h"
 #include "broadcast/bc.h"
+#include "field/fp_soa.h"
 #include "graph/graph.h"
+#include "graph/star_incremental.h"
 #include "net/simulation.h"
 #include "poly/bivariate.h"
 #include "sharing/encoding.h"
@@ -189,6 +191,19 @@ class Wss : public ProtocolInstance {
   /// globally, by the revealed party's own honest instance copy).
   void note_revealed(int member);
 
+  // Scaling caches (all bypassed under NAMPC_SCALING_BASELINE; exact field
+  // arithmetic makes every cached value bit-identical to the on-demand
+  // evaluation it replaces).
+  /// My row k evaluated at party j's point: rows_[k](α_{j+1}), served from
+  /// the row_points_ grid once the dealer's rows have been batch-encoded.
+  [[nodiscard]] Fp row_point(int k, int j) const;
+  /// Dealer-side: rows of party j across all secrets (cached family or
+  /// per-call row_for_party fallback).
+  [[nodiscard]] std::vector<Polynomial> dealer_rows_for(int j) const;
+  /// Dealer-side committed point F_k(α_at, α_owner) = row_owner^k(α_at) —
+  /// the value party `owner` should hold/report for partner `at`.
+  [[nodiscard]] Fp dealer_point(int k, int owner, int at) const;
+
   // Dealer state.
   PartyId dealer_;
   Time nominal_start_;
@@ -200,10 +215,20 @@ class Wss : public ProtocolInstance {
   PartySet dealer_blacklist_;             // silent non-Z cliquemates
   bool dealer_async_sent_ = false;
   Graph dealer_async_graph_;
+  // Scaling caches, dealer side (filled in start() unless baselined):
+  // dealer_rows_[k][j] = bivariates_[k].row_for_party(j);
+  // dealer_points_[k].at(i, j) = row_i^k(α_{j+1}) = F_k(α_{j+1}, α_{i+1}).
+  std::vector<std::vector<Polynomial>> dealer_rows_;
+  std::vector<FpGrid> dealer_points_;
+  StarFinder dealer_star_;    // incremental matching over the AOK graph
+  PartySet dealer_star_u_;    // U snapshot the finder was loaded with
+  bool dealer_star_loaded_ = false;
 
   // Party state.
   std::vector<std::unique_ptr<Iteration>> iterations_;
   std::vector<Polynomial> rows_;  // rows received from the dealer
+  FpGrid row_points_;             // rows_ batch-encoded over all n points
+  bool row_points_ready_ = false;
   bool have_rows_ = false;
   Time rows_time_ = -1;
   bool points_sent_ = false;
@@ -215,7 +240,7 @@ class Wss : public ProtocolInstance {
   bool inner_started_ = false;
   PartySet aok_sent_;                          // AOKs this party Acast
   std::vector<std::vector<Acast*>> aok_;       // aok_[i][j]: AOK_j by P_i
-  PartySet aok_edges_from_[64];                // received AOK_i->j
+  std::vector<PartySet> aok_edges_from_;       // received AOK_i->j
   Acast* async_bcast_ = nullptr;               // dealer's (async, A, Qa)
   std::optional<std::pair<Graph, PartySet>> async_candidate_;
   PartySet async_u_;

@@ -27,6 +27,12 @@ struct Metrics {
   std::uint64_t rs_decodes = 0;
   std::uint64_t field_mults = 0;         ///< sampled only where instrumented
 
+  // Allocation-behaviour counters for the scaling engine (BENCH_scaling):
+  std::uint64_t payload_pool_hits = 0;   ///< send_all copies served from pool
+  std::uint64_t payload_pool_misses = 0; ///< copies that had to allocate
+  std::uint64_t payloads_recycled = 0;   ///< delivered buffers returned
+  std::uint64_t peak_queue_depth = 0;    ///< max in-flight DES events
+
   /// Privacy audit: per (dealer id), the maximum number of honest univariate
   /// polynomials made public in any single sharing instance dealt by that
   /// party. Proofs require each <= ts; the simulator asserts this at
@@ -50,7 +56,11 @@ struct Metrics {
   void note_honest_reveal(const std::string& instance_key, int dealer,
                           int member) {
     const std::uint64_t count = ++honest_polys_by_instance[instance_key];
-    honest_reveal_masks[instance_key] |= (1ull << member);
+    // The offender mask is a reporting aid only; ids >= 64 (possible at the
+    // widened n = 128 cap) simply fall outside its single word.
+    if (member >= 0 && member < 64) {
+      honest_reveal_masks[instance_key] |= (1ull << member);
+    }
     honest_reveal_dealers[instance_key] = dealer;
     std::uint64_t& worst = honest_polys_revealed[dealer];
     if (count > worst) worst = count;

@@ -7,12 +7,7 @@ namespace nampc {
 std::vector<int> PartySet::to_vector() const {
   std::vector<int> out;
   out.reserve(static_cast<std::size_t>(size()));
-  std::uint64_t m = mask_;
-  while (m != 0) {
-    const int id = __builtin_ctzll(m);
-    out.push_back(id);
-    m &= m - 1;
-  }
+  for_each([&out](int id) { out.push_back(id); });
   return out;
 }
 

@@ -1,10 +1,11 @@
-// PartySet: a set of party indices backed by a 64-bit mask.
+// PartySet: a set of party indices backed by a two-word (128-bit) mask.
 //
 // Protocol state is dominated by small sets of parties (U, V, W, Z, cliques,
 // stars, Com). A bitmask keeps them value-typed, hashable, orderable and
-// cheap to copy into broadcast payloads. The library supports n <= 24 (the
-// paper's constructions are exponential in n anyway), far below the 64-party
-// capacity here.
+// cheap to copy into broadcast payloads. The library supports n <= 128 (the
+// scaling engine's ceiling); sets confined to ids < 64 behave exactly as the
+// old single-word representation did — mask() still exposes that word, and
+// the wire encodings built on it are unchanged for n <= 64.
 #pragma once
 
 #include <cstdint>
@@ -15,15 +16,23 @@
 
 namespace nampc {
 
-/// Value-type set of party indices in [0, 64).
+/// Value-type set of party indices in [0, 128).
 class PartySet {
  public:
+  /// Highest supported party count (two 64-bit words).
+  static constexpr int kMaxParties = 128;
+
   constexpr PartySet() = default;
-  constexpr explicit PartySet(std::uint64_t mask) : mask_(mask) {}
+  /// Low-word constructor: ids in [0, 64). Kept implicit-width for the wire
+  /// decoders (`PartySet{r.u64()}`) of the n <= 64 protocols.
+  constexpr explicit PartySet(std::uint64_t mask) : lo_(mask) {}
+  constexpr PartySet(std::uint64_t lo, std::uint64_t hi) : lo_(lo), hi_(hi) {}
 
   /// The set {0, 1, ..., n-1}.
   static constexpr PartySet full(int n) {
-    return PartySet(n >= 64 ? ~0ull : ((1ull << n) - 1));
+    if (n >= kMaxParties) return PartySet(~0ull, ~0ull);
+    if (n >= 64) return PartySet(~0ull, n == 64 ? 0 : (1ull << (n - 64)) - 1);
+    return PartySet((1ull << n) - 1);
   }
 
   static PartySet of(std::initializer_list<int> ids) {
@@ -39,43 +48,85 @@ class PartySet {
   }
 
   void insert(int id) {
-    NAMPC_REQUIRE(id >= 0 && id < 64, "party id out of range");
-    mask_ |= (1ull << id);
+    NAMPC_REQUIRE(id >= 0 && id < kMaxParties, "party id out of range");
+    if (id < 64) lo_ |= (1ull << id);
+    else hi_ |= (1ull << (id - 64));
   }
   void erase(int id) {
-    NAMPC_REQUIRE(id >= 0 && id < 64, "party id out of range");
-    mask_ &= ~(1ull << id);
+    NAMPC_REQUIRE(id >= 0 && id < kMaxParties, "party id out of range");
+    if (id < 64) lo_ &= ~(1ull << id);
+    else hi_ &= ~(1ull << (id - 64));
   }
   [[nodiscard]] bool contains(int id) const {
-    return id >= 0 && id < 64 && ((mask_ >> id) & 1u) != 0;
+    if (id < 0 || id >= kMaxParties) return false;
+    return id < 64 ? ((lo_ >> id) & 1u) != 0 : ((hi_ >> (id - 64)) & 1u) != 0;
   }
 
-  [[nodiscard]] int size() const { return __builtin_popcountll(mask_); }
-  [[nodiscard]] bool empty() const { return mask_ == 0; }
-  [[nodiscard]] std::uint64_t mask() const { return mask_; }
+  [[nodiscard]] int size() const {
+    return __builtin_popcountll(lo_) + __builtin_popcountll(hi_);
+  }
+  [[nodiscard]] bool empty() const { return lo_ == 0 && hi_ == 0; }
 
-  [[nodiscard]] PartySet union_with(PartySet o) const { return PartySet(mask_ | o.mask_); }
-  [[nodiscard]] PartySet intersect(PartySet o) const { return PartySet(mask_ & o.mask_); }
-  [[nodiscard]] PartySet minus(PartySet o) const { return PartySet(mask_ & ~o.mask_); }
-  [[nodiscard]] bool subset_of(PartySet o) const { return (mask_ & ~o.mask_) == 0; }
+  /// The legacy single-word view used by the n <= 64 wire encodings. Loudly
+  /// rejects sets that have grown past it instead of silently truncating.
+  [[nodiscard]] std::uint64_t mask() const {
+    NAMPC_REQUIRE(hi_ == 0, "PartySet::mask() on a set with ids >= 64");
+    return lo_;
+  }
+  /// Raw words, for the n > 64 algorithms (graph kernels, codecs).
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
 
-  friend bool operator==(PartySet a, PartySet b) { return a.mask_ == b.mask_; }
-  friend bool operator!=(PartySet a, PartySet b) { return a.mask_ != b.mask_; }
-  friend bool operator<(PartySet a, PartySet b) { return a.mask_ < b.mask_; }
+  [[nodiscard]] PartySet union_with(PartySet o) const {
+    return PartySet(lo_ | o.lo_, hi_ | o.hi_);
+  }
+  [[nodiscard]] PartySet intersect(PartySet o) const {
+    return PartySet(lo_ & o.lo_, hi_ & o.hi_);
+  }
+  [[nodiscard]] PartySet minus(PartySet o) const {
+    return PartySet(lo_ & ~o.lo_, hi_ & ~o.hi_);
+  }
+  [[nodiscard]] bool subset_of(PartySet o) const {
+    return (lo_ & ~o.lo_) == 0 && (hi_ & ~o.hi_) == 0;
+  }
+
+  friend bool operator==(PartySet a, PartySet b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(PartySet a, PartySet b) { return !(a == b); }
+  /// Orders by numeric value of the 128-bit mask; coincides with the old
+  /// single-word order whenever both sets stay below id 64.
+  friend bool operator<(PartySet a, PartySet b) {
+    if (a.hi_ != b.hi_) return a.hi_ < b.hi_;
+    return a.lo_ < b.lo_;
+  }
 
   /// Members in increasing order.
   [[nodiscard]] std::vector<int> to_vector() const;
 
   /// First member >= 0, or -1 if empty.
   [[nodiscard]] int first() const {
-    return mask_ == 0 ? -1 : __builtin_ctzll(mask_);
+    if (lo_ != 0) return __builtin_ctzll(lo_);
+    if (hi_ != 0) return 64 + __builtin_ctzll(hi_);
+    return -1;
+  }
+
+  /// Calls fn(id) for every member in increasing order — the allocation-free
+  /// alternative to to_vector() on hot paths.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t m = lo_; m != 0; m &= m - 1) fn(__builtin_ctzll(m));
+    for (std::uint64_t m = hi_; m != 0; m &= m - 1) {
+      fn(64 + __builtin_ctzll(m));
+    }
   }
 
   /// Human-readable "{0,3,5}".
   [[nodiscard]] std::string str() const;
 
   /// Iterates over all subsets of {0..n-1} with exactly k elements, calling
-  /// fn(PartySet) for each, in increasing mask order.
+  /// fn(PartySet) for each, in increasing mask order. Exponential by nature;
+  /// restricted to the single-word range.
   template <typename Fn>
   static void for_each_subset(int n, int k, Fn&& fn) {
     NAMPC_REQUIRE(n >= 0 && n < 64 && k >= 0, "bad subset parameters");
@@ -95,7 +146,8 @@ class PartySet {
   }
 
  private:
-  std::uint64_t mask_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
 };
 
 }  // namespace nampc

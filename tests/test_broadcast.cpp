@@ -156,7 +156,7 @@ TEST_P(BcModeTest, SyncConsistencyUnderEquivocation) {
   adv->add_rule(
       [](const Message& m, Time) {
         return m.from == 2 && m.type == 1 &&
-               m.instance.find("acast") != std::string::npos;
+               m.instance().find("acast") != std::string::npos;
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;

@@ -178,7 +178,7 @@ TEST(MonitorViolation, AcastEquivocationFlagged) {
   adv->add_rule(
       [](const Message& m, Time) {
         return (m.from == 2 || m.from == 3) && m.to < 2 &&
-               m.instance == "acast";
+               m.instance() == "acast";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;
@@ -212,7 +212,7 @@ TEST(MonitorViolation, BcEquivocationFlagged) {
   adv->add_rule(
       [](const Message& m, Time) {
         return (m.from == 2 || m.from == 3) && m.to < 2 &&
-               m.instance == "bc/acast";
+               m.instance() == "bc/acast";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;
@@ -258,7 +258,7 @@ TEST(MonitorViolation, WssEquivocatingDealerFlagged) {
   // δ(x) = (x - 3)(x - 4) = x^2 - 7x + 12; α_2 = 3, α_3 = 4.
   adv->add_rule(
       [](const Message& m, Time) {
-        return m.from == 3 && m.to == 0 && m.instance == "wss" &&
+        return m.from == 3 && m.to == 0 && m.instance() == "wss" &&
                m.type == 1;  // Wss row-distribution message
       },
       [](const Message& m, Time, Rng&) {
@@ -277,7 +277,7 @@ TEST(MonitorViolation, WssEquivocatingDealerFlagged) {
   adv->add_rule(
       [](const Message& m, Time) {
         return (m.from == 2 || m.from == 3) && m.to < 2 &&
-               m.instance.find("asyncq") != std::string::npos;
+               m.instance().find("asyncq") != std::string::npos;
       },
       [](const Message& m, Time, Rng&) {
         Graph g(4);  // AOK graph as the honest parties will see it: K4 - (0,1)

@@ -141,7 +141,7 @@ VssCommitRun run_vss_corrupt_dealer(std::uint64_t seed) {
   auto adv = std::make_shared<ScriptedAdversary>(PartySet::of({0}));
   adv->add_rule(
       [seed](const Message& m, Time) {
-        if (m.from != 0 || m.type != 1 || m.instance != "vss") return false;
+        if (m.from != 0 || m.type != 1 || m.instance() != "vss") return false;
         return ((seed >> (m.to % 8)) & 1u) != 0;  // seed-dependent victims
       },
       [](const Message& m, Time, Rng&) {

@@ -172,7 +172,8 @@ TEST(Timing, ParamsValidation) {
   EXPECT_NO_THROW((ProtocolParams{7, 2, 1}.validate()));
   EXPECT_THROW((ProtocolParams{6, 2, 1}.validate()), InvariantError);
   EXPECT_THROW((ProtocolParams{7, 1, 2}.validate()), InvariantError);  // ta>ts
-  EXPECT_THROW((ProtocolParams{30, 2, 1}.validate()), InvariantError); // n>24
+  EXPECT_NO_THROW((ProtocolParams{30, 2, 1}.validate()));
+  EXPECT_THROW((ProtocolParams{130, 2, 1}.validate()), InvariantError); // n>128
   EXPECT_TRUE((ProtocolParams{7, 2, 1}.feasible()));
   EXPECT_FALSE((ProtocolParams{6, 2, 1}.feasible()));
 }

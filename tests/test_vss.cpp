@@ -145,7 +145,7 @@ TEST_P(VssModeTest, CheatedPartyRecoversItsRow) {
   adv->add_rule(
       [victim](const Message& m, Time) {
         return m.from == 0 && m.to == victim && m.type == 1 &&
-               m.instance == "vss";
+               m.instance() == "vss";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;
@@ -210,7 +210,7 @@ TEST(Vss, UpgradesTheWssBotCaseToRecovery) {
   adv->add_rule(
       [victim](const Message& m, Time) {
         return m.from == 0 && m.to == victim && m.type == 1 &&
-               m.instance == "vss";
+               m.instance() == "vss";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;

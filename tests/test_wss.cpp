@@ -181,7 +181,7 @@ TEST_P(WssModeTest, InconsistentDealerWeakCommitment) {
   adv->add_rule(
       [n = c.params.n](const Message& m, Time) {
         return m.from == 0 && m.to == n - 1 && m.type == 1 &&
-               m.instance == "wss";
+               m.instance() == "wss";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;
@@ -282,7 +282,7 @@ TEST(WssBotOutcome, CheatedOutsiderDetectsSynchronyAndOutputsBot) {
   adv->add_rule(
       [victim](const Message& m, Time) {
         return m.from == 0 && m.to == victim && m.type == 1 &&
-               m.instance == "wss";
+               m.instance() == "wss";
       },
       [](const Message& m, Time, Rng&) {
         SendDecision d;
@@ -300,7 +300,7 @@ TEST(WssBotOutcome, CheatedOutsiderDetectsSynchronyAndOutputsBot) {
     adv->add_rule(
         [id, victim](const Message& m, Time) {
           return m.from == id && m.to == victim && m.type == 2 &&
-                 m.instance == "wss";
+                 m.instance() == "wss";
         },
         [](const Message& m, Time, Rng&) {
           SendDecision d;
