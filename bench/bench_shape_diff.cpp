@@ -13,11 +13,17 @@
 // invocation or unparseable input.
 //
 // Usage: bench_shape_diff --schema FILE.json
-// Single-file validation: the file must parse, declare schema
-// "nampc-bench/2", carry a name, the monitors section (events/violations
-// keys) and at least one section with headers and rows. Used by the
-// scaling-smoke CI job to hold BENCH_scaling.json to the schema without
-// needing a second file to diff against.
+// Single-file validation. Sniffs the committed format from the first line:
+//  * "nampc-bench/2" (one JSON document): must carry a name, the monitors
+//    section (events/violations keys) and at least one section with headers
+//    and rows. Used by the scaling-smoke CI job to hold BENCH_scaling.json
+//    to the schema without needing a second file to diff against.
+//  * "nampc-metrics/1" (JSONL, obs/metrics.h): every line must parse; the
+//    header line must carry config/status/end_vt/sample_dvt/instances; each
+//    body line needs a known "row" discriminator with that row's required
+//    keys; exactly one "total" row, and it must be the last line. Used by
+//    the metrics-smoke CI job to hold the committed PROF_*.jsonl dumps to
+//    the schema.
 //
 // The parser below handles exactly the JSON subset JsonWriter emits
 // (objects, arrays, strings, numbers, booleans, null; \uXXXX escapes kept
@@ -298,8 +304,120 @@ std::string join(const std::vector<std::string>& v) {
   return out;
 }
 
+/// --schema mode, "nampc-metrics/1" branch: JSONL from obs/metrics.h.
+/// `text` is the full file contents (already read for format sniffing).
+int validate_metrics(const std::string& path, const std::string& text) {
+  int problems = 0;
+  auto problem = [&problems, &path](std::size_t line, const std::string& what) {
+    ++problems;
+    std::cout << "SCHEMA " << path << ":" << line + 1 << ": " << what << "\n";
+  };
+  // Required keys per "row" discriminator (the header line has no "row").
+  const std::map<std::string, std::vector<std::string>> kRowKeys = {
+      {"sample", {"vt", "events", "timers", "messages", "words", "kinds"}},
+      {"dropped_samples", {"count"}},
+      {"party", {"id", "events", "messages", "words"}},
+      {"unattributed", {"events", "messages", "words"}},
+      {"instance", {"id", "key", "kind", "events", "messages", "words"}},
+      {"kind", {"kind", "tagged_copies", "events", "messages", "words"}},
+      {"hist", {"name", "buckets"}},
+      {"counter", {"name", "value"}},
+      {"gauge", {"name", "value"}},
+      {"total", {"events", "timers", "messages", "words", "pool_hits",
+                 "pool_misses", "samples"}},
+  };
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t totals = 0;
+  bool last_was_total = false;
+  for (; std::getline(lines, line); ++lineno) {
+    if (line.empty()) continue;
+    JsonValue row;
+    std::string error;
+    Parser parser(line);
+    if (!parser.parse(row, error)) {
+      problem(lineno, "parse error: " + error);
+      continue;
+    }
+    if (row.kind != JsonValue::Kind::object) {
+      problem(lineno, "line is not a JSON object");
+      continue;
+    }
+    last_was_total = false;
+    if (lineno == 0) {
+      for (const char* key :
+           {"config", "status", "end_vt", "sample_dvt", "instances"}) {
+        if (!row.find(key)) problem(lineno, std::string("header missing ") + key);
+      }
+      if (const JsonValue* config = row.find("config")) {
+        for (const char* key :
+             {"n", "ts", "ta", "network", "delta", "seed", "max_events"}) {
+          if (!config->find(key)) {
+            problem(lineno, std::string("header config missing ") + key);
+          }
+        }
+      }
+      continue;
+    }
+    const JsonValue* discr = row.find("row");
+    if (!discr) {
+      problem(lineno, "body line missing \"row\" discriminator");
+      continue;
+    }
+    const auto it = kRowKeys.find(discr->text);
+    if (it == kRowKeys.end()) {
+      problem(lineno, "unknown row kind '" + discr->text + "'");
+      continue;
+    }
+    for (const std::string& key : it->second) {
+      if (!row.find(key)) {
+        problem(lineno, discr->text + " row missing " + key);
+      }
+    }
+    if (discr->text == "total") {
+      ++totals;
+      last_was_total = true;
+    }
+  }
+  if (lineno == 0) problem(0, "empty file");
+  if (totals != 1) {
+    problem(lineno, "want exactly one total row, got " + std::to_string(totals));
+  } else if (!last_was_total) {
+    problem(lineno, "total row is not the last line");
+  }
+  if (problems == 0) {
+    std::cout << "schema ok: nampc-metrics/1 (" << lineno << " rows)\n";
+    return 0;
+  }
+  std::cout << problems << " schema problem(s) in " << path << "\n";
+  return 1;
+}
+
 /// --schema mode: one file, validated against the "nampc-bench/2" contract.
 int validate_schema(const std::string& path) {
+  // Sniff the format: metrics dumps are JSONL whose first line declares
+  // "nampc-metrics/1"; everything else goes through the bench-report path.
+  {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "bench_shape_diff: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::string first = text.substr(0, text.find('\n'));
+    JsonValue head;
+    std::string error;
+    Parser parser(std::move(first));
+    if (parser.parse(head, error) && head.kind == JsonValue::Kind::object) {
+      const JsonValue* schema = head.find("schema");
+      if (schema && schema->text == "nampc-metrics/1") {
+        return validate_metrics(path, text);
+      }
+    }
+  }
   Shape s;
   if (!load_shape(path, s)) return 2;
   int problems = 0;

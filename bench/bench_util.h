@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/simulation.h"
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "util/json.h"
 
@@ -106,11 +107,27 @@ struct MonitorTally {
 /// lifetime of one benchmark cell, then detaches and folds the counts into
 /// the shared tally. Violations also print to stderr via the engine's own
 /// logging, so a red invariant is visible even in table output.
+///
+/// Metrics emission: with NAMPC_METRICS_DIR set in the environment, every
+/// monitored benchmark cell writes a cost-attribution dump (schema
+/// "nampc-metrics/1", sampled every Δ of virtual time) on destruction.
+/// A non-empty `metrics_label` names the file $NAMPC_METRICS_DIR/
+/// PROF_<label>.jsonl (how the committed PROF_*.jsonl trajectories are
+/// regenerated); with no label the name is derived from the cell's config
+/// and final event count, so regenerators that predate labelling still
+/// emit distinct files. Cells write to distinct paths, so the emission is
+/// safe under the sweep engine's worker threads (which must not touch
+/// stdout/stderr).
 class MonitoredRun {
  public:
-  MonitoredRun(Simulation& sim, MonitorTally& tally) : sim_(sim), tally_(tally) {
+  explicit MonitoredRun(Simulation& sim, MonitorTally& tally,
+                        std::string metrics_label = {})
+      : sim_(sim), tally_(tally), metrics_label_(std::move(metrics_label)) {
     obs::install_standard_monitors(engine_);
     sim_.set_monitors(&engine_);
+    if (metrics_dir() != nullptr) {
+      sim_.metrics_registry().set_sample_interval(sim_.config().delta);
+    }
   }
   MonitoredRun(const MonitoredRun&) = delete;
   MonitoredRun& operator=(const MonitoredRun&) = delete;
@@ -118,14 +135,35 @@ class MonitoredRun {
     sim_.set_monitors(nullptr);
     tally_.events += engine_.events_seen();
     tally_.violations += engine_.violations().size();
+    if (const char* dir = metrics_dir()) {
+      std::string label = metrics_label_;
+      if (label.empty()) {
+        const Simulation::Config& cfg = sim_.config();
+        std::ostringstream auto_label;
+        auto_label << "auto_n" << cfg.params.n << "_"
+                   << (cfg.kind == NetworkKind::synchronous ? "sync" : "async")
+                   << "_seed" << cfg.seed << "_e"
+                   << sim_.metrics().events_processed;
+        label = auto_label.str();
+      }
+      const std::string path = std::string(dir) + "/PROF_" + label + ".jsonl";
+      std::ofstream out(path);
+      if (out) obs::write_metrics_jsonl(out, sim_);
+    }
   }
 
   [[nodiscard]] const obs::MonitorEngine& engine() const { return engine_; }
 
  private:
+  [[nodiscard]] static const char* metrics_dir() {
+    const char* d = std::getenv("NAMPC_METRICS_DIR");
+    return (d != nullptr && d[0] != '\0') ? d : nullptr;
+  }
+
   obs::MonitorEngine engine_;
   Simulation& sim_;
   MonitorTally& tally_;
+  std::string metrics_label_;
 };
 
 /// Machine-readable mirror of a regenerator's text output (schema

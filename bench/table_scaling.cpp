@@ -67,16 +67,21 @@ struct E2eResult {
   double wall_ms = 0;
 };
 
+std::string cell_label(const char* prim, int n, NetworkKind kind) {
+  return std::string(prim) + "_n" + std::to_string(n) +
+         (kind == NetworkKind::synchronous ? "_sync" : "_async");
+}
+
 template <typename Inst, typename Spawn, typename Start>
-E2eResult run_sharing(ProtocolParams p, NetworkKind kind, Spawn spawn,
-                      Start start) {
+E2eResult run_sharing(ProtocolParams p, NetworkKind kind,
+                      const std::string& label, Spawn spawn, Start start) {
   Simulation::Config cfg;
   cfg.params = p;
   cfg.kind = kind;
   cfg.seed = 1009;
 
   Simulation sim(cfg, std::make_shared<Adversary>());
-  bench::MonitoredRun mon_guard(sim, g_monitors);
+  bench::MonitoredRun mon_guard(sim, g_monitors, label);
   std::vector<Inst*> inst;
   for (int i = 0; i < p.n; ++i) inst.push_back(spawn(sim, i));
   const auto t0 = std::chrono::steady_clock::now();
@@ -107,7 +112,7 @@ E2eResult run_sharing(ProtocolParams p, NetworkKind kind, Spawn spawn,
 E2eResult run_wss(int n, NetworkKind kind) {
   const ProtocolParams p = params_for(n);
   return run_sharing<Wss>(
-      p, kind,
+      p, kind, cell_label("wss", n, kind),
       [](Simulation& sim, int i) {
         (void)i;
         return &sim.party(i).spawn<Wss>("wss", 0, 0, WssOptions{}, nullptr);
@@ -125,7 +130,7 @@ E2eResult run_vss(int n, NetworkKind kind) {
   PartySet z;
   for (int i = 0; i < p.ts - p.ta; ++i) z.insert(p.n - 1 - i);
   return run_sharing<Vss>(
-      p, kind,
+      p, kind, cell_label("vss", n, kind),
       [&z](Simulation& sim, int i) {
         (void)i;
         return &sim.party(i).spawn<Vss>("vss", 0, 0, 1, z, nullptr);
@@ -143,7 +148,7 @@ E2eResult run_bc(int n, NetworkKind kind) {
   cfg.kind = kind;
   cfg.seed = 1013;
   Simulation sim(cfg, std::make_shared<Adversary>());
-  bench::MonitoredRun mon_guard(sim, g_monitors);
+  bench::MonitoredRun mon_guard(sim, g_monitors, cell_label("bc", n, kind));
   std::vector<Bc*> inst;
   for (int i = 0; i < p.n; ++i) {
     inst.push_back(&sim.party(i).spawn<Bc>("bc", 0, 0, nullptr));

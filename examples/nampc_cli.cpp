@@ -19,7 +19,14 @@
 //     --rawtrace FILE            write an analysable trace (schema
 //                                nampc-trace/1) for the nampc_trace CLI
 //     --report FILE              write a machine-readable run report
-//                                (schema nampc-run-report/2); "-" = stdout
+//                                (schema nampc-run-report/3); "-" = stdout
+//     --metrics FILE             write the cost-attribution metrics dump
+//                                (schema nampc-metrics/1 JSONL, read by
+//                                nampc_prof); "-" = stdout
+//     --metrics-dvt N            virtual-time sampling interval for the
+//                                metrics series (default: Δ)
+//     --max-events M             override the event-limit safety valve
+//                                (diagnosis runs; default 200M)
 //     --log-level LVL            off|error|info|debug|trace (default error)
 //     --log-json                 emit logs as JSON lines on stderr
 //     --log-ring N               keep the last N log events (trace level)
@@ -31,6 +38,7 @@
 // Prints per-party outcomes, timing vs the paper's T_* bound, and the
 // run's message/event metrics. Exit code 0 iff all protocol guarantees
 // held in the run.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,6 +46,7 @@
 
 #include "core/nampc.h"
 #include "obs/analysis.h"
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/report.h"
 #include "obs/tracer.h"
@@ -58,6 +67,9 @@ struct Options {
   std::string trace_file;
   std::string rawtrace_file;
   std::string report_file;
+  std::string metrics_file;
+  Time metrics_dvt = 0;           // 0 = default to delta
+  std::uint64_t max_events = 0;   // 0 = keep the Config default
   std::string log_level;
   bool log_json = false;
   int log_ring = 0;
@@ -96,6 +108,11 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--trace" && i + 1 < argc) o.trace_file = argv[++i];
     else if (a == "--rawtrace" && i + 1 < argc) o.rawtrace_file = argv[++i];
     else if (a == "--report" && i + 1 < argc) o.report_file = argv[++i];
+    else if (a == "--metrics" && i + 1 < argc) o.metrics_file = argv[++i];
+    else if (a == "--metrics-dvt" && next(v)) o.metrics_dvt = v;
+    else if (a == "--max-events" && i + 1 < argc) {
+      o.max_events = std::strtoull(argv[++i], nullptr, 10);
+    }
     else if (a == "--log-level" && i + 1 < argc) o.log_level = argv[++i];
     else if (a == "--log-json") o.log_json = true;
     else if (a == "--log-ring" && next(v)) o.log_ring = v;
@@ -137,6 +154,7 @@ int run(const Options& o) {
   cfg.seed = o.seed;
   cfg.delta = o.delta;
   cfg.ideal_primitives = o.ideal;
+  if (o.max_events > 0) cfg.max_events = o.max_events;
   if (!o.log_level.empty() && !parse_log_level(o.log_level, Log::level())) {
     std::cerr << "unknown log level: " << o.log_level << "\n";
     return 2;
@@ -158,6 +176,10 @@ int run(const Options& o) {
   Simulation sim(cfg, adv);
   if (want_obs) sim.set_tracer(&tracer);
   sim.set_monitors(&monitors);
+  if (!o.metrics_file.empty()) {
+    sim.metrics_registry().set_sample_interval(
+        o.metrics_dvt > 0 ? o.metrics_dvt : o.delta);
+  }
   const Timing& tm = sim.timing();
   Rng rng(o.seed ^ 0xc11);
   const int n = o.params.n;
@@ -387,6 +409,20 @@ int run(const Options& o) {
       std::cout << "report: " << o.report_file << "\n";
     }
   }
+  if (!o.metrics_file.empty()) {
+    if (o.metrics_file == "-") {
+      obs::write_metrics_jsonl(std::cout, sim);
+    } else {
+      std::ofstream out(o.metrics_file);
+      if (!out) {
+        std::cerr << "cannot open metrics file: " << o.metrics_file << "\n";
+        return 2;
+      }
+      obs::write_metrics_jsonl(out, sim);
+      std::cout << "metrics dump: " << o.metrics_file << " ("
+                << sim.metrics_registry().samples().size() << " samples)\n";
+    }
+  }
 
   std::cout << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
@@ -402,6 +438,7 @@ int main(int argc, char** argv) {
            "[--async] [--seed S] [--delta D] [--ideal] "
            "[--adversary silent|garble] [--secrets L] "
            "[--trace FILE] [--rawtrace FILE] [--report FILE|-] "
+           "[--metrics FILE|-] [--metrics-dvt N] [--max-events M] "
            "[--log-level LVL] [--log-json] [--log-ring N]\n";
     return 2;
   }

@@ -1,5 +1,6 @@
 #include "fuzz/fuzz.h"
 
+#include <fstream>
 #include <ostream>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "field/fp.h"
 #include "lowerbound/lowerbound.h"
 #include "mpc/mpc.h"
+#include "obs/metrics.h"
 #include "poly/polynomial.h"
 #include "sharing/vss.h"
 #include "sharing/wss.h"
@@ -284,7 +286,7 @@ FuzzCase sample_case(const CampaignOptions& options, std::uint64_t index) {
   return c;
 }
 
-FuzzVerdict run_case(const FuzzCase& fcase) {
+FuzzVerdict run_case(const FuzzCase& fcase, const std::string& metrics_dir) {
   // The engine must outlive the Simulation (at_quiescence fires inside
   // run(); spans close in instance destructors).
   obs::MonitorEngine monitors;
@@ -308,6 +310,9 @@ FuzzVerdict run_case(const FuzzCase& fcase) {
       std::make_shared<ScriptedStrategy>(fcase.strategy, fcase.params.n);
   Simulation sim(cfg, adversary);
   sim.set_monitors(&monitors);
+  if (!metrics_dir.empty()) {
+    sim.metrics_registry().set_sample_interval(cfg.delta);
+  }
 
   Rng in(Rng::split(fcase.seed, 2));
   const int n = fcase.params.n;
@@ -400,6 +405,16 @@ FuzzVerdict run_case(const FuzzCase& fcase) {
   for (const auto& [name, count] : monitors.checks_by_monitor()) {
     v.monitor_checks += count;
   }
+  if (!metrics_dir.empty()) {
+    const std::string base = metrics_dir + "/FUZZ_" + fcase.primitive + "_c" +
+                             std::to_string(fcase.campaign);
+    std::ofstream out(base + ".jsonl");
+    if (out) obs::write_metrics_jsonl(out, sim);
+    if (v.stall) {
+      std::ofstream flight(base + ".flight.json");
+      if (flight) (void)obs::write_flight_record(flight, sim);
+    }
+  }
   return v;
 }
 
@@ -442,7 +457,7 @@ CampaignReport run_campaigns(const CampaignOptions& options) {
       [&options](std::size_t i) {
         CampaignResult r;
         r.fcase = sample_case(options, i);
-        r.verdict = run_case(r.fcase);
+        r.verdict = run_case(r.fcase, options.metrics_dir);
         return r;
       });
 

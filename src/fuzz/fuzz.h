@@ -69,6 +69,12 @@ struct CampaignOptions {
   /// dealer of tests/test_monitor.cpp) in the wss target's sample space.
   bool mutants = false;
   std::uint64_t max_events = 20'000'000;
+  /// When non-empty, every campaign writes a cost-attribution dump
+  /// (obs/metrics.h, schema "nampc-metrics/1") to
+  /// DIR/FUZZ_<primitive>_c<campaign>.jsonl, and stalled campaigns add the
+  /// flight record ("nampc-flight/1") as .flight.json — the per-campaign
+  /// filenames keep emission safe under the sweep's worker threads.
+  std::string metrics_dir;
 };
 
 struct CampaignResult {
@@ -93,8 +99,11 @@ struct CampaignReport {
 
 /// Executes one campaign: builds the monitored Simulation, spawns the
 /// target primitive, runs to quiescence/horizon/event-limit and collects
-/// the oracle verdict.
-[[nodiscard]] FuzzVerdict run_case(const FuzzCase& fcase);
+/// the oracle verdict. A non-empty `metrics_dir` enables the metrics
+/// registry's virtual-time sampler and dumps attribution (plus the flight
+/// record on a stall) as described at CampaignOptions::metrics_dir.
+[[nodiscard]] FuzzVerdict run_case(const FuzzCase& fcase,
+                                   const std::string& metrics_dir = {});
 
 /// Runs a full batch, `options.jobs`-way parallel (util/sweep.h).
 [[nodiscard]] CampaignReport run_campaigns(const CampaignOptions& options);

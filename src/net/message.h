@@ -10,6 +10,11 @@ namespace nampc {
 
 using PartyId = int;
 
+/// Sentinel instance id for cost attribution: work that belongs to no
+/// protocol instance (driver-scheduled timers, ideal-gadget plumbing) lands
+/// in the metrics registry's "unattributed" cell under this id.
+inline constexpr std::uint32_t kNoInstance = 0xffffffffu;
+
 /// A message addressed to a protocol instance on the receiving party.
 ///
 /// Routing keys are hierarchical strings ("vss0/it2/inner3/acast"), but the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/tracer.h"
 
@@ -28,8 +30,10 @@ Simulation::Simulation(Config config, std::shared_ptr<Adversary> adversary)
     : config_(config),
       timing_(Timing::derive(config.params, config.delta)),
       adversary_(std::move(adversary)),
+      registry_(std::make_unique<obs::MetricsRegistry>()),
       rng_(config.seed) {
   if (!config_.allow_infeasible) config_.params.validate();
+  registry_->bind(&metrics_, config_.params.n);
   NAMPC_REQUIRE(adversary_ != nullptr, "simulation needs an adversary");
   const PartySet corrupt = adversary_->corrupt_set();
   NAMPC_REQUIRE(corrupt.subset_of(PartySet::full(config_.params.n)),
@@ -67,15 +71,15 @@ Party& Simulation::party(PartyId id) {
 
 void Simulation::push_event(Event ev) {
   queue_.push(std::move(ev));
-  if (queue_.size() > metrics_.peak_queue_depth) {
-    metrics_.peak_queue_depth = queue_.size();
-  }
+  registry_->on_queue_depth(queue_.size());
 }
 
-void Simulation::schedule(Time t, std::function<void()> fn, int klass) {
+void Simulation::schedule(Time t, std::function<void()> fn, int klass,
+                          std::uint32_t owner, PartyId owner_party) {
   NAMPC_REQUIRE(t >= now_, "cannot schedule in the past");
   if (tracer_) tracer_->on_schedule(t, klass);
-  push_event(Event{t, klass, seq_++, /*is_delivery=*/false, std::move(fn), {}});
+  push_event(Event{t, klass, seq_++, /*is_delivery=*/false, std::move(fn), {},
+                   owner, owner_party});
 }
 
 void Simulation::schedule_delivery(Time t, Message msg) {
@@ -94,15 +98,15 @@ std::uint32_t Simulation::intern_instance(const std::string& key) {
   return id;
 }
 
-Words Simulation::pooled_copy(const Words& src) {
+Words Simulation::pooled_copy(const Words& src, std::uint32_t owner) {
   if (scaling_baseline() || payload_pool_.empty()) {
-    metrics_.payload_pool_misses++;
+    registry_->on_pool(owner, /*hit=*/false);
     return src;
   }
   Words w = std::move(payload_pool_.back());
   payload_pool_.pop_back();
   w.assign(src.begin(), src.end());
-  metrics_.payload_pool_hits++;
+  registry_->on_pool(owner, /*hit=*/true);
   return w;
 }
 
@@ -113,7 +117,7 @@ void Simulation::recycle_payload(Words&& payload) {
   }
   payload.clear();
   payload_pool_.push_back(std::move(payload));
-  metrics_.payloads_recycled++;
+  registry_->on_recycle();
 }
 
 Time Simulation::default_delay(PartyId from, PartyId to) {
@@ -128,8 +132,7 @@ Time Simulation::default_delay(PartyId from, PartyId to) {
 void Simulation::post_message(Message msg) {
   NAMPC_REQUIRE(msg.from >= 0 && msg.from < n() && msg.to >= 0 && msg.to < n(),
                 "message endpoints out of range");
-  metrics_.messages_sent++;
-  metrics_.words_sent += msg.payload.size();
+  registry_->on_send(msg.instance_id, msg.from, msg.payload.size());
   if (tracer_) {
     tracer_->on_send(msg.from, msg.instance(), msg.payload.size());
   }
@@ -202,39 +205,97 @@ void Simulation::post_message(Message msg) {
 RunStatus Simulation::run() {
   while (!queue_.empty()) {
     if (metrics_.events_processed >= config_.max_events) {
-      // A tripped event limit is almost always a livelock; the log ring
-      // (if enabled) holds the only actionable record of the final spins.
-      // Composed into one buffer and written in one call so concurrent
-      // sweep jobs tripping the limit cannot interleave their dumps.
-      std::ostringstream dump;
-      dump << "nampc: event limit (" << config_.max_events << ") tripped at t="
-           << now_ << "\n";
-      Log::dump_ring(dump);
-      std::cerr << dump.str();
+      on_event_limit();
+      last_status_ = RunStatus::event_limit;
       return RunStatus::event_limit;
     }
     const Event& top = queue_.top();
-    if (top.time >= config_.horizon) return RunStatus::horizon;
+    if (top.time >= config_.horizon) {
+      registry_->finish(now_);
+      last_status_ = RunStatus::horizon;
+      return RunStatus::horizon;
+    }
+    registry_->advance_time(top.time);
     now_ = top.time;
     if (top.is_delivery) {
       Message m = std::move(const_cast<Event&>(top).msg);
       queue_.pop();
-      metrics_.events_processed++;
+      registry_->on_dispatch(m.instance_id, m.to, /*delivery=*/true, m.type,
+                             now_, m.payload.size());
       party(m.to).deliver(m);
       recycle_payload(std::move(m.payload));
     } else {
+      const std::uint32_t owner = top.owner;
+      const PartyId owner_party = top.owner_party;
+      const int klass = top.klass;
       auto fn = std::move(const_cast<Event&>(top).fn);
       queue_.pop();
-      metrics_.events_processed++;
+      registry_->on_dispatch(owner, owner_party, /*delivery=*/false, klass,
+                             now_, 0);
       fn();
     }
   }
+  registry_->finish(now_);
   // Monitors first: a quiescence violation should be recorded (and
   // reported to whoever reads the engine) even when the privacy-audit
   // assert below is about to abort the run.
   if (monitors_ != nullptr) monitors_->at_quiescence(*this);
   if (config_.privacy_audit && !config_.allow_infeasible) audit_privacy();
+  last_status_ = RunStatus::quiescent;
   return RunStatus::quiescent;
+}
+
+obs::QueueStats Simulation::queue_stats() const {
+  // The priority_queue hides its container; a derived type can still name
+  // the protected member, giving read access to the heap array without
+  // copying or draining millions of pending events on the trip path.
+  struct Peeker : std::priority_queue<Event, std::vector<Event>, EventOrder> {
+    static const std::vector<Event>& container(
+        const std::priority_queue<Event, std::vector<Event>, EventOrder>& q) {
+      return q.*(&Peeker::c);
+    }
+  };
+  obs::QueueStats stats;
+  const std::vector<Event>& events = Peeker::container(queue_);
+  stats.depth = events.size();
+  for (const Event& ev : events) {
+    stats.by_klass[ev.klass]++;
+    if (ev.is_delivery) stats.deliveries_by_instance[ev.msg.instance_id]++;
+    if (ev.time > stats.horizon) stats.horizon = ev.time;
+  }
+  return stats;
+}
+
+void Simulation::on_event_limit() {
+  // A tripped event limit is almost always a livelock; the flight record
+  // (top instances, queue composition, last-dispatches ring) plus the log
+  // ring hold the actionable record of the final spins. Composed into one
+  // buffer and written in one call so concurrent sweep jobs tripping the
+  // limit cannot interleave their dumps.
+  registry_->finish(now_);
+  registry_->record_valve_trip(
+      now_, config_.max_events, queue_stats(),
+      [this](std::uint32_t id) -> const std::string& {
+        return instance_name(id);
+      });
+  std::ostringstream dump;
+  dump << "nampc: event limit (" << config_.max_events << ") tripped at t="
+       << now_ << "\n";
+  obs::render_flight_summary(dump, *registry_->flight());
+  Log::dump_ring(dump);
+  std::cerr << dump.str();
+  // Env-gated flight-record dump: CI legs set NAMPC_FLIGHT_DIR so any
+  // valve trip anywhere (cli, bench, fuzz) leaves an artifact behind.
+  if (const char* dir = std::getenv("NAMPC_FLIGHT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    std::ostringstream name;
+    name << dir << "/flight_n" << config_.params.n << "_"
+         << (config_.kind == NetworkKind::synchronous ? "sync" : "async")
+         << "_seed" << config_.seed << "_e" << metrics_.events_processed
+         << "_i" << instance_count() << ".json";
+    std::ofstream out(name.str());
+    if (out) obs::write_flight_record(out, *this);
+  }
 }
 
 void Simulation::audit_privacy() const {
@@ -333,12 +394,13 @@ void ProtocolInstance::send(PartyId to, int type, Words payload) {
 
 void ProtocolInstance::send_all(int type, const Words& payload) {
   for (int to = 0; to < n(); ++to) {
-    send(to, type, sim().pooled_copy(payload));
+    send(to, type, sim().pooled_copy(payload, instance_id_));
   }
 }
 
 void ProtocolInstance::span_kind(const char* kind) {
   kind_ = kind;
+  sim().metrics_registry().tag_instance(instance_id_, kind_);
   if (auto* tracer = sim().tracer()) tracer->set_kind(my_id(), key_, kind_);
 }
 
@@ -371,12 +433,13 @@ void ProtocolInstance::notify_output(Words value) {
 }
 
 void ProtocolInstance::at(Time t, std::function<void()> fn, int klass) {
-  sim().schedule(std::max(t, now()), std::move(fn), klass);
+  sim().schedule(std::max(t, now()), std::move(fn), klass, instance_id_,
+                 my_id());
 }
 
 void ProtocolInstance::after(Time delay, std::function<void()> fn, int klass) {
   NAMPC_REQUIRE(delay >= 0, "negative timer delay");
-  sim().schedule(now() + delay, std::move(fn), klass);
+  sim().schedule(now() + delay, std::move(fn), klass, instance_id_, my_id());
 }
 
 }  // namespace nampc

@@ -35,6 +35,8 @@ namespace nampc {
 namespace obs {
 class Tracer;
 class MonitorEngine;
+class MetricsRegistry;
+struct QueueStats;
 }
 
 class Party;
@@ -106,6 +108,17 @@ class Simulation {
   [[nodiscard]] NetworkKind kind() const { return config_.kind; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+  /// The dimensional cost-attribution registry (obs/metrics.h). Always
+  /// attached; it is the single accounting path for the shared counters —
+  /// the flat Metrics struct above is its thin compatibility view.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() { return *registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const {
+    return *registry_;
+  }
+
+  /// Why the most recent run() returned (quiescent before any run).
+  [[nodiscard]] RunStatus last_status() const { return last_status_; }
   [[nodiscard]] Adversary& adversary() { return *adversary_; }
   [[nodiscard]] const Adversary& adversary() const { return *adversary_; }
   [[nodiscard]] Rng& rng() { return rng_; }
@@ -139,7 +152,11 @@ class Simulation {
   /// Schedules fn at absolute virtual time t (>= now). Within one tick,
   /// message deliveries (klass 0) run before timers (klass 1): a protocol
   /// step "at time T" observes every message that arrived "by time T".
-  void schedule(Time t, std::function<void()> fn, int klass = 1);
+  /// `owner` / `owner_party` attribute the timer's dispatch cost in the
+  /// metrics registry (ProtocolInstance::at/after pass their own identity;
+  /// driver-scheduled timers default to the unattributed cell).
+  void schedule(Time t, std::function<void()> fn, int klass = 1,
+                std::uint32_t owner = kNoInstance, PartyId owner_party = -1);
 
   /// Schedules a message delivery at absolute time t. Deliveries carry the
   /// Message inline in the event (klass 0) — no closure allocation on the
@@ -161,8 +178,10 @@ class Simulation {
   /// Copies `src` into a payload buffer drawn from the freelist pool
   /// (send_all fans one payload out to n recipients; reusing delivered
   /// buffers avoids n fresh heap allocations per broadcast). Falls back to
-  /// a plain copy under scaling_baseline().
-  [[nodiscard]] Words pooled_copy(const Words& src);
+  /// a plain copy under scaling_baseline(). `owner` attributes the pool
+  /// hit/miss to the instance doing the copy.
+  [[nodiscard]] Words pooled_copy(const Words& src,
+                                  std::uint32_t owner = kNoInstance);
   /// Returns a delivered payload's buffer to the freelist.
   void recycle_payload(Words&& payload);
 
@@ -199,6 +218,9 @@ class Simulation {
     bool is_delivery = false;
     std::function<void()> fn;
     Message msg;
+    // Cost attribution for timer events (deliveries carry msg.instance_id).
+    std::uint32_t owner = kNoInstance;
+    PartyId owner_party = -1;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -214,12 +236,21 @@ class Simulation {
 
   void push_event(Event ev);
 
+  /// Composition of the pending event queue (flight recorder, cold path).
+  [[nodiscard]] obs::QueueStats queue_stats() const;
+
+  /// Event-limit diagnostics: flight record + stderr dump + optional
+  /// NAMPC_FLIGHT_DIR JSON file.
+  void on_event_limit();
+
   Config config_;
   Timing timing_;
   std::shared_ptr<Adversary> adversary_;
   obs::Tracer* tracer_ = nullptr;
   obs::MonitorEngine* monitors_ = nullptr;
   Metrics metrics_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  RunStatus last_status_ = RunStatus::quiescent;
   Rng rng_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/analysis.h"
+#include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "util/json.h"
 
@@ -58,7 +59,7 @@ void write_run_report(std::ostream& os, const Simulation& sim,
 
   JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "nampc-run-report/2");
+  w.kv("schema", "nampc-run-report/3");
 
   w.key("config").begin_object();
   w.kv("n", cfg.params.n).kv("ts", cfg.params.ts).kv("ta", cfg.params.ta);
@@ -97,6 +98,38 @@ void write_run_report(std::ostream& os, const Simulation& sim,
   for (const auto& [name, count] : m.named) w.kv(name, count);
   w.end_object();
   w.end_object();
+
+  // Measured per-primitive cost attribution (schema v3): what each kind
+  // actually cost in this run — dispatched events, messages and words from
+  // the metrics registry's kind dimension — next to the paper's complexity
+  // term for that primitive, so reports connect measured volume back to the
+  // claimed bounds (docs/PAPER_MAP.md, "Measured-cost fields").
+  {
+    const MetricsRegistry& reg = sim.metrics_registry();
+    const std::vector<std::string>& kinds = reg.kind_names();
+    w.key("measured_cost").begin_object();
+    for (std::size_t k = 0; k < reg.kind_rows().size(); ++k) {
+      const InstanceCost& c = reg.kind_rows()[k];
+      if (kinds[k].empty() && c.events == 0 && c.messages == 0 &&
+          reg.kind_tags()[k] == 0) {
+        continue;
+      }
+      w.key(kinds[k].empty() ? "(untagged)" : kinds[k]).begin_object();
+      w.kv("tagged_copies", reg.kind_tags()[k]);
+      w.kv("events", c.events);
+      w.kv("timers", c.timers);
+      w.kv("messages", c.messages);
+      w.kv("words", c.words);
+      w.kv("pool_hits", c.pool_hits);
+      w.kv("pool_misses", c.pool_misses);
+      if (const PaperCostTerm* term = paper_cost_term(kinds[k])) {
+        w.kv("paper_term", term->term);
+        w.kv("paper_source", term->source);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
 
   // The paper's derived protocol-time formulas for these (params, delta):
   // observed latencies below should sit at or under the matching bound in

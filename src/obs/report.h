@@ -6,9 +6,12 @@
 // T'_WSS, T_VSS, T_VTS, T_ACS) and — when a Tracer was attached — observed
 // per-primitive virtual-time latency percentiles, so measured latencies
 // can be checked against the formulas and tracked as a BENCH_*.json
-// trajectory across PRs. Schema: "nampc-run-report/2" (documented in
+// trajectory across PRs. Schema: "nampc-run-report/3" (documented in
 // DESIGN.md §Observability); v2 added p99 + per-kind message/word volumes
-// to "primitives" and the "monitors" / "critical_path" sections.
+// to "primitives" and the "monitors" / "critical_path" sections; v3 added
+// "measured_cost" — the metrics registry's per-primitive event/message/
+// word attribution (obs/metrics.h), each kind cross-referenced against
+// the paper's complexity term (docs/PAPER_MAP.md "Measured-cost fields").
 #pragma once
 
 #include <ostream>

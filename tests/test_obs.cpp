@@ -272,7 +272,7 @@ TEST(Obs, RunReportParsesAndMirrorsMetrics) {
   JsonValue report;
   ASSERT_TRUE(parse_json(run.report_json, report))
       << run.report_json.substr(0, 200);
-  EXPECT_EQ(report.at("schema").str, "nampc-run-report/2");
+  EXPECT_EQ(report.at("schema").str, "nampc-run-report/3");
   EXPECT_EQ(report.at("status").str, "quiescent");
   EXPECT_EQ(report.at("config").at("n").as_int(), 4);
   EXPECT_EQ(report.at("config").at("seed").as_int(), 23);

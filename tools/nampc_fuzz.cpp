@@ -13,6 +13,10 @@
 //   nampc_fuzz --replay SEED.json [--shrink]
 //       re-executes a seed file and prints the canonical verdict block —
 //       byte-identical to the block the original campaign printed.
+//   nampc_fuzz ... --metrics DIR
+//       additionally writes one "nampc-metrics/1" cost-attribution dump per
+//       campaign (FUZZ_<primitive>_c<campaign>.jsonl; stalled campaigns add
+//       a "nampc-flight/1" .flight.json) — inspect with tools/nampc_prof.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,8 +36,8 @@ int usage() {
       << "usage: nampc_fuzz --primitive {acast,bc,ba,wss,vss,acs,mpc,lb}\n"
       << "                  [--campaigns N] [--seed S] [--jobs J] [--mutants]\n"
       << "                  [--max-events M] [--shrink] [--out DIR]\n"
-      << "                  [--expect-findings]\n"
-      << "       nampc_fuzz --replay SEED.json [--shrink]\n";
+      << "                  [--expect-findings] [--metrics DIR]\n"
+      << "       nampc_fuzz --replay SEED.json [--shrink] [--metrics DIR]\n";
   return 2;
 }
 
@@ -49,7 +53,8 @@ bool read_file(const std::string& path, std::string& out, std::string& error) {
   return true;
 }
 
-int replay(const std::string& path, bool shrink) {
+int replay(const std::string& path, bool shrink,
+           const std::string& metrics_dir) {
   std::string text;
   std::string error;
   if (!read_file(path, text, error)) {
@@ -61,7 +66,7 @@ int replay(const std::string& path, bool shrink) {
     std::cerr << "nampc_fuzz: " << path << ": " << error << '\n';
     return 2;
   }
-  const FuzzVerdict verdict = run_case(fcase);
+  const FuzzVerdict verdict = run_case(fcase, metrics_dir);
   std::cout << render_verdict(fcase, verdict);
   if (shrink && verdict.failed()) {
     int steps = 0;
@@ -110,6 +115,8 @@ int main(int argc, char** argv) {
       expect_findings = true;
     } else if (arg == "--out") {
       out_dir = next("--out");
+    } else if (arg == "--metrics") {
+      options.metrics_dir = next("--metrics");
     } else if (arg == "--replay") {
       replay_path = next("--replay");
     } else if (arg == "--jobs" || arg == "-j") {
@@ -122,7 +129,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay(replay_path, shrink);
+  if (!replay_path.empty()) {
+    return replay(replay_path, shrink, options.metrics_dir);
+  }
   if (!have_primitive) return usage();
   bool known = false;
   for (const std::string& p : primitive_targets()) known |= p == options.primitive;
