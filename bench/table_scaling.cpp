@@ -65,7 +65,23 @@ struct E2eResult {
   std::uint64_t recycled = 0;
   std::uint64_t violations = 0;
   double wall_ms = 0;
+  RunStatus status = RunStatus::quiescent;
+  std::string flight_path;  ///< flight-record JSON, when the valve wrote one
 };
+
+/// Valve trips name their flight record in the bench's own stderr summary
+/// (EXPERIMENTS.md §S1a follow-up): a CI log line points straight at the
+/// artifact instead of leaving readers to guess what NAMPC_FLIGHT_DIR held.
+void report_valve_trip(const std::string& label, const E2eResult& r) {
+  if (r.status != RunStatus::event_limit) return;
+  std::cerr << "table_scaling: event-limit valve tripped in " << label
+            << " after " << r.events << " events; flight record "
+            << (r.flight_path.empty()
+                    ? std::string(
+                          "not written (set NAMPC_FLIGHT_DIR to keep one)")
+                    : "at " + r.flight_path)
+            << "\n";
+}
 
 std::string cell_label(const char* prim, int n, NetworkKind kind) {
   return std::string(prim) + "_n" + std::to_string(n) +
@@ -86,9 +102,11 @@ E2eResult run_sharing(ProtocolParams p, NetworkKind kind,
   for (int i = 0; i < p.n; ++i) inst.push_back(spawn(sim, i));
   const auto t0 = std::chrono::steady_clock::now();
   start(*inst[0]);
-  (void)sim.run();
+  const RunStatus status = sim.run();
 
   E2eResult r;
+  r.status = status;
+  r.flight_path = sim.last_flight_path();
   r.wall_ms = ms_since(t0);
   for (Inst* w : inst) {
     if (w->outcome() == WssOutcome::rows) {
@@ -155,8 +173,10 @@ E2eResult run_bc(int n, NetworkKind kind) {
   }
   const auto t0 = std::chrono::steady_clock::now();
   inst[0]->start({7});
-  (void)sim.run();
+  const RunStatus status = sim.run();
   E2eResult r;
+  r.status = status;
+  r.flight_path = sim.last_flight_path();
   r.wall_ms = ms_since(t0);
   for (Bc* b : inst) {
     const auto& out = b->current_output();
@@ -296,6 +316,7 @@ KernelRow star_kernel(int n) {
 int run_smoke() {
   std::cout << "scaling smoke: n=64 synchronous Pi_WSS, monitors attached\n";
   const E2eResult r = run_wss(64, NetworkKind::synchronous);
+  report_valve_trip(cell_label("wss", 64, NetworkKind::synchronous), r);
   std::cout << "  output=" << r.with_rows << "/64 latest=" << r.latest
             << " messages=" << r.messages << " events=" << r.events
             << " pool_hits=" << r.pool_hits << " wall="
@@ -340,18 +361,29 @@ int main(int argc, char** argv) {
               "n=32 (the n=64 async cell trips the 200M-event safety valve)");
 
   Sweep<E2eResult> sweep(jobs);
+  std::vector<std::string> labels;
   for (int n : wss_ns) {
     for (NetworkKind k : wss_kinds(n)) {
       sweep.add([n, k] { return run_wss(n, k); });
+      labels.push_back(cell_label("wss", n, k));
     }
   }
   for (int n : vss_ns) {
-    for (NetworkKind k : kinds) sweep.add([n, k] { return run_vss(n, k); });
+    for (NetworkKind k : kinds) {
+      sweep.add([n, k] { return run_vss(n, k); });
+      labels.push_back(cell_label("vss", n, k));
+    }
   }
   for (int n : bc_ns) {
-    for (NetworkKind k : kinds) sweep.add([n, k] { return run_bc(n, k); });
+    for (NetworkKind k : kinds) {
+      sweep.add([n, k] { return run_bc(n, k); });
+      labels.push_back(cell_label("bc", n, k));
+    }
   }
   const std::vector<E2eResult> results = sweep.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    report_valve_trip(labels[i], results[i]);
+  }
 
   std::size_t idx = 0;
   {

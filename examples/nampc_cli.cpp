@@ -13,6 +13,21 @@
 //     --adversary silent|garble  corrupt the last budget-many parties
 //     --secrets L                batch width for wss/vss (default 1)
 //
+//   transport backends (wss | vss | mpc):
+//     --backend des|threaded     des (default) = the deterministic
+//                                simulator; threaded = one OS thread per
+//                                party over real mailboxes (honest-only,
+//                                asynchronous, wall-clock timing)
+//     --tick-us N                threaded: wall microseconds per virtual
+//                                tick (default 100)
+//     --record-schedule FILE     threaded: export the captured delivery
+//                                schedule ("nampc-schedule/1" JSON)
+//     --replay-schedule FILE     des: re-run under the recorded delays via
+//                                ReplayAdversary (params/network/seed come
+//                                from the file); composes with --trace,
+//                                --rawtrace, --report, --metrics — the
+//                                record -> replay triage workflow
+//
 //   observability:
 //     --trace FILE               write a Chrome trace_event / Perfetto
 //                                JSON trace of the run (virtual time)
@@ -42,9 +57,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "adversary/replay.h"
 #include "core/nampc.h"
+#include "net/schedule.h"
+#include "net/threaded.h"
 #include "obs/analysis.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
@@ -64,6 +83,11 @@ struct Options {
   bool ideal = false;
   std::string adversary = "none";
   int secrets = 1;
+  std::string backend = "des";
+  std::int64_t tick_us = 100;
+  std::string record_file;
+  std::string replay_file;
+  RecordedSchedule replay_schedule;  // loaded in main() when replaying
   std::string trace_file;
   std::string rawtrace_file;
   std::string report_file;
@@ -105,6 +129,10 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--async") o.kind = NetworkKind::asynchronous;
     else if (a == "--ideal") o.ideal = true;
     else if (a == "--adversary" && i + 1 < argc) o.adversary = argv[++i];
+    else if (a == "--backend" && i + 1 < argc) o.backend = argv[++i];
+    else if (a == "--tick-us" && next(v)) o.tick_us = v;
+    else if (a == "--record-schedule" && i + 1 < argc) o.record_file = argv[++i];
+    else if (a == "--replay-schedule" && i + 1 < argc) o.replay_file = argv[++i];
     else if (a == "--trace" && i + 1 < argc) o.trace_file = argv[++i];
     else if (a == "--rawtrace" && i + 1 < argc) o.rawtrace_file = argv[++i];
     else if (a == "--report" && i + 1 < argc) o.report_file = argv[++i];
@@ -141,11 +169,148 @@ std::shared_ptr<ScriptedAdversary> build_adversary(const Options& o) {
   return adv;
 }
 
+/// The threaded real-concurrency backend: honest-only wss/vss/mpc, wall
+/// clock timing, optional "nampc-schedule/1" capture for later DES replay.
+int run_threaded_cli(const Options& o) {
+  if (o.protocol != "wss" && o.protocol != "vss" && o.protocol != "mpc") {
+    std::cerr << "--backend threaded supports wss|vss|mpc\n";
+    return 2;
+  }
+  if (o.adversary != "none" || o.ideal) {
+    std::cerr << "--backend threaded is honest-only with full primitives "
+                 "(adversary hooks and ideal gadgets live on the DES side)\n";
+    return 2;
+  }
+  ThreadedConfig cfg;
+  cfg.params = o.params;
+  cfg.seed = o.seed;
+  cfg.delta = o.delta;
+  cfg.tick_us = o.tick_us;
+  cfg.record_schedule = !o.record_file.empty();
+  if (o.max_events > 0) cfg.max_events = o.max_events;
+  if (o.kind == NetworkKind::synchronous) {
+    std::cout << "note: threaded backend runs asynchronous (a real network "
+                 "gives no delta guarantee)\n";
+  }
+
+  const int n = o.params.n;
+  Rng rng(o.seed ^ 0xc11);
+  std::vector<Polynomial> qs;
+  for (int k = 0; k < o.secrets; ++k) {
+    qs.push_back(Polynomial::random_with_constant(
+        Fp(static_cast<std::uint64_t>(1000 + k)), o.params.ts, rng));
+  }
+  PartySet z;
+  for (int i = 0; i < o.params.ts - o.params.ta; ++i) z.insert(n - 1 - i);
+  Circuit c;
+  std::map<int, FpVec> inputs;
+  if (o.protocol == "mpc") {
+    std::vector<int> in;
+    for (int i = 0; i < n; ++i) in.push_back(c.input(i));
+    int acc = in[0];
+    for (int i = 1; i < n; ++i) {
+      acc = c.add(acc, in[static_cast<std::size_t>(i)]);
+    }
+    c.mark_output(c.mul(acc, in[0]));
+    for (int i = 0; i < n; ++i) {
+      inputs[i] = {Fp(static_cast<std::uint64_t>(i + 1))};
+    }
+  }
+
+  std::cout << "protocol=" << o.protocol << " n=" << n << " ts="
+            << o.params.ts << " ta=" << o.params.ta
+            << " backend=threaded tick_us=" << o.tick_us << " seed=" << o.seed
+            << "\n";
+
+  std::vector<Wss*> sharing(static_cast<std::size_t>(n), nullptr);
+  std::vector<Mpc*> mpc(static_cast<std::size_t>(n), nullptr);
+  const ThreadedResult res = run_threaded(
+      cfg, [&](Simulation& sim, PartyId id) -> std::function<bool()> {
+        if (o.protocol == "mpc") {
+          Mpc& m = sim.party(id).spawn<Mpc>("p", c, inputs[id], nullptr);
+          mpc[static_cast<std::size_t>(id)] = &m;
+          return [&m] { return m.has_output(); };
+        }
+        Wss* w = nullptr;
+        if (o.protocol == "vss") {
+          w = &sim.party(id).spawn<Vss>("p", 0, 0, o.secrets, z, nullptr);
+        } else {
+          WssOptions opts;
+          opts.num_secrets = o.secrets;
+          w = &sim.party(id).spawn<Wss>("p", 0, 0, opts, nullptr);
+        }
+        sharing[static_cast<std::size_t>(id)] = w;
+        if (id == 0) w->start(qs);
+        return [w] { return w->has_output(); };
+      });
+
+  bool ok = res.completed;
+  if (!res.completed) std::cout << "watchdog fired (run incomplete)\n";
+  if (o.protocol == "mpc") {
+    for (int i = 0; i < n; ++i) {
+      Mpc* m = mpc[static_cast<std::size_t>(i)];
+      if (m == nullptr || !m->has_output()) {
+        std::cout << "P" << i << ": no output\n";
+        ok = false;
+        continue;
+      }
+      const bool agrees = m->output() == mpc[0]->output();
+      ok = ok && agrees;
+      std::cout << "P" << i << ": output " << m->output()[0]
+                << (agrees ? "" : " (DISAGREES)") << " t=" << m->output_time()
+                << "\n";
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      Wss* w = sharing[static_cast<std::size_t>(i)];
+      if (w == nullptr || w->outcome() != WssOutcome::rows) {
+        std::cout << "P" << i << ": no output\n";
+        ok = false;
+        continue;
+      }
+      const bool right = w->share(0) == qs[0].eval(eval_point(i));
+      ok = ok && right;
+      std::cout << "P" << i << ": share ok=" << (right ? "yes" : "NO")
+                << " t=" << w->output_time() << "\n";
+    }
+  }
+
+  std::cout << "metrics: wire_messages=" << res.wire_messages
+            << " events=" << res.events << " wall_ms=" << res.wall_ms << "\n";
+  std::cout << "monitors: events=" << res.monitor_events
+            << " violations=" << res.violations.size() << "\n";
+  for (const obs::Violation& v : res.violations) {
+    std::cout << "  VIOLATION [" << v.monitor << "] " << v.kind << " "
+              << v.key << " parties=" << v.parties.str() << " t=" << v.time
+              << ": " << v.detail << "\n";
+  }
+  ok = ok && res.violations.empty();
+
+  if (!o.record_file.empty()) {
+    std::ofstream out(o.record_file);
+    if (!out) {
+      std::cerr << "cannot open schedule file: " << o.record_file << "\n";
+      return 2;
+    }
+    write_schedule(out, res.schedule);
+    std::cout << "schedule: " << o.record_file << " ("
+              << res.schedule.records.size() << " records)\n";
+  }
+
+  std::cout << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
 int run(const Options& o) {
   if (!feasible(o.params.n, o.params.ts, o.params.ta)) {
     std::cerr << "infeasible parameters: need n > 2*max(ts,ta)+max(2ta,ts) "
               << "(minimum n = " << min_parties(o.params.ts, o.params.ta)
               << ")\n";
+    return 2;
+  }
+  if (o.backend == "threaded") return run_threaded_cli(o);
+  if (o.backend != "des") {
+    std::cerr << "unknown backend: " << o.backend << "\n";
     return 2;
   }
   Simulation::Config cfg;
@@ -164,8 +329,20 @@ int run(const Options& o) {
     Log::set_ring(static_cast<std::size_t>(o.log_ring), LogLevel::trace);
   }
 
-  auto adv = build_adversary(o);
-  const PartySet corrupt = adv->corrupt_set();
+  std::shared_ptr<Adversary> adv;
+  std::shared_ptr<ReplayAdversary> replay;
+  PartySet corrupt;
+  if (!o.replay_file.empty()) {
+    replay = std::make_shared<ReplayAdversary>(o.replay_schedule);
+    adv = replay;
+    std::cout << "replaying " << o.replay_file << " ("
+              << o.replay_schedule.records.size() << " recorded deliveries, "
+              << "backend=" << o.replay_schedule.backend << ")\n";
+  } else {
+    auto scripted = build_adversary(o);
+    corrupt = scripted->corrupt_set();
+    adv = scripted;
+  }
   // Tracer and monitors must outlive the Simulation: spans close in
   // instance dtors.
   obs::Tracer tracer;
@@ -368,6 +545,11 @@ int run(const Options& o) {
             << " events=" << sim.metrics().events_processed
             << " rs_decodes=" << sim.metrics().rs_decodes << "\n";
 
+  if (replay != nullptr) {
+    std::cout << "replay: matched=" << replay->matched()
+              << " missed=" << replay->missed()
+              << " (missed deliveries fall back to the model default)\n";
+  }
   std::cout << "monitors: events=" << monitors.events_seen()
             << " violations=" << monitors.violations().size() << "\n";
   for (const obs::Violation& v : monitors.violations()) {
@@ -437,10 +619,39 @@ int main(int argc, char** argv) {
         << "usage: nampc_cli <wss|vss|vts|ba|acs|mpc> [--n N --ts T --ta T] "
            "[--async] [--seed S] [--delta D] [--ideal] "
            "[--adversary silent|garble] [--secrets L] "
+           "[--backend des|threaded] [--tick-us N] "
+           "[--record-schedule FILE] [--replay-schedule FILE] "
            "[--trace FILE] [--rawtrace FILE] [--report FILE|-] "
            "[--metrics FILE|-] [--metrics-dvt N] [--max-events M] "
            "[--log-level LVL] [--log-json] [--log-ring N]\n";
     return 2;
+  }
+  if (!o.replay_file.empty()) {
+    if (o.backend != "des") {
+      std::cerr << "--replay-schedule replays on the DES backend\n";
+      return 2;
+    }
+    if (o.adversary != "none") {
+      std::cerr << "--replay-schedule replaces the adversary\n";
+      return 2;
+    }
+    std::ifstream in(o.replay_file);
+    if (!in) {
+      std::cerr << "cannot open schedule file: " << o.replay_file << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    if (!read_schedule(text.str(), o.replay_schedule, error)) {
+      std::cerr << "bad schedule file: " << error << "\n";
+      return 2;
+    }
+    // The run context comes from the recording; flags must not diverge
+    // from what the schedule was captured under.
+    o.params = o.replay_schedule.params;
+    o.kind = o.replay_schedule.kind;
+    o.seed = o.replay_schedule.seed;
   }
   try {
     return run(o);

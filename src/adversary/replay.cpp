@@ -1,0 +1,48 @@
+#include "adversary/replay.h"
+
+#include <algorithm>
+
+namespace nampc {
+
+ReplayAdversary::ReplayAdversary(const RecordedSchedule& schedule) {
+  // Index by channel, ordered by the sender's per-channel sequence number.
+  // The schedule may arrive unsorted; seq is authoritative for send order.
+  std::map<ChannelKey, std::vector<std::pair<std::uint64_t, Time>>> staged;
+  for (const ScheduleRecord& r : schedule.records) {
+    const Time delay = std::max<Time>(1, r.arrival_tick - r.send_tick);
+    staged[ChannelKey{r.from, r.to, r.key}].emplace_back(r.seq, delay);
+  }
+  for (auto& [key, seq_delays] : staged) {
+    std::sort(seq_delays.begin(), seq_delays.end());
+    std::vector<Time>& out = delays_[key];
+    out.reserve(seq_delays.size());
+    for (const auto& [seq, delay] : seq_delays) out.push_back(delay);
+  }
+}
+
+std::optional<Time> ReplayAdversary::sample_delay(const Message& msg,
+                                                  Time now, NetworkKind kind,
+                                                  Rng& rng) {
+  (void)now;
+  (void)kind;
+  (void)rng;
+  if (msg.instance_name == nullptr) {
+    ++missed_;
+    return std::nullopt;
+  }
+  const ChannelKey key{msg.from, msg.to, *msg.instance_name};
+  const auto it = delays_.find(key);
+  if (it == delays_.end()) {
+    ++missed_;
+    return std::nullopt;
+  }
+  std::size_t& cursor = cursor_[key];
+  if (cursor >= it->second.size()) {
+    ++missed_;
+    return std::nullopt;
+  }
+  ++matched_;
+  return it->second[cursor++];
+}
+
+}  // namespace nampc

@@ -1,0 +1,54 @@
+// ReplayAdversary: re-imports a recorded transport schedule into the DES.
+//
+// The schedule bridge (net/schedule.h) captures per-channel delivery delays
+// from a real-concurrency run. This adversary corrupts nobody and plays
+// those delays back through the Adversary::sample_delay hook: the k-th
+// message the DES posts on channel (from, to, instance-key) gets the delay
+// the k-th recorded message on that channel experienced on the real
+// network. Channels the recording never saw — or messages past the end of
+// a channel's recording, which happens when the replayed execution's send
+// pattern diverges from the recorded one — fall back to the model-default
+// distribution; matched()/missed() report how faithful the replay was.
+//
+// Because the lookup is a pure function of the posting order and the DES
+// itself is deterministic, replaying the same schedule twice produces
+// byte-identical run reports — the property the transport-smoke CI gate
+// checks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/adversary.h"
+#include "net/schedule.h"
+
+namespace nampc {
+
+class ReplayAdversary final : public Adversary {
+ public:
+  explicit ReplayAdversary(const RecordedSchedule& schedule);
+
+  /// Replay corrupts nobody: the recorded run was honest, and the point is
+  /// to reproduce its timing, not to attack it.
+  [[nodiscard]] PartySet corrupt_set() const override { return {}; }
+
+  std::optional<Time> sample_delay(const Message& msg, Time now,
+                                   NetworkKind kind, Rng& rng) override;
+
+  /// Messages that found a recorded delay / fell back to the model default.
+  [[nodiscard]] std::uint64_t matched() const { return matched_; }
+  [[nodiscard]] std::uint64_t missed() const { return missed_; }
+
+ private:
+  using ChannelKey = std::tuple<PartyId, PartyId, std::string>;
+  // Per-channel delays in send order, consumed by a per-channel cursor.
+  std::map<ChannelKey, std::vector<Time>> delays_;
+  std::map<ChannelKey, std::size_t> cursor_;
+  std::uint64_t matched_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace nampc

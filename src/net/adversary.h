@@ -14,7 +14,13 @@
 // ---------------------------------------------------------------------------
 // This is the single authoritative description of what Simulation::post_message
 // allows an Adversary to do; simulation.h, adversary/scripted.h and
-// adversary/strategy.h refer here instead of restating it.
+// adversary/strategy.h refer here instead of restating it. Since the
+// transport split (net/transport.h) the contract is applied by DesTransport
+// — the deterministic backend behind the Transport seam. It is a DES
+// contract by nature: a real network (net/threaded.h) exposes no delivery
+// oracle, so the threaded backend runs honest-only and real schedules come
+// back under this contract via adversary/replay.h (a recorded schedule
+// replayed as sample_delay answers).
 //
 //  1. Honest integrity. If the *sender* is honest, the adversary cannot drop
 //     or rewrite the message: `SendDecision::deliver` is forced to true and

@@ -1,0 +1,93 @@
+#include "net/schedule.h"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "util/json.h"
+#include "util/json_read.h"
+
+namespace nampc {
+
+void RecordedSchedule::sort() {
+  std::sort(records.begin(), records.end(),
+            [](const ScheduleRecord& a, const ScheduleRecord& b) {
+              return std::tie(a.from, a.to, a.key, a.seq) <
+                     std::tie(b.from, b.to, b.key, b.seq);
+            });
+}
+
+void write_schedule(std::ostream& os, const RecordedSchedule& schedule) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "nampc-schedule/1");
+  w.kv("n", schedule.params.n);
+  w.kv("ts", schedule.params.ts);
+  w.kv("ta", schedule.params.ta);
+  w.kv("kind", schedule.kind == NetworkKind::synchronous ? "synchronous"
+                                                         : "asynchronous");
+  w.kv("seed", schedule.seed);
+  w.kv("tick_us", static_cast<std::int64_t>(schedule.tick_us));
+  w.kv("backend", schedule.backend);
+  w.key("records").begin_array();
+  for (const ScheduleRecord& r : schedule.records) {
+    w.begin_object();
+    w.kv("from", r.from);
+    w.kv("to", r.to);
+    w.kv("key", r.key);
+    w.kv("seq", r.seq);
+    w.kv("send", static_cast<std::int64_t>(r.send_tick));
+    w.kv("arrival", static_cast<std::int64_t>(r.arrival_tick));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+bool read_schedule(const std::string& text, RecordedSchedule& out,
+                   std::string& error) {
+  JsonValue root;
+  if (!json_parse(text, root, error)) return false;
+  if (!root.is_object()) {
+    error = "schedule: top level is not an object";
+    return false;
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->text != "nampc-schedule/1") {
+    error = "schedule: missing or unsupported schema (want nampc-schedule/1)";
+    return false;
+  }
+  const JsonValue* records = root.find("records");
+  if (records == nullptr || !records->is_array()) {
+    error = "schedule: missing records array";
+    return false;
+  }
+  out = RecordedSchedule{};
+  out.params.n = static_cast<int>(root.at("n").i64());
+  out.params.ts = static_cast<int>(root.at("ts").i64());
+  out.params.ta = static_cast<int>(root.at("ta").i64());
+  out.kind = root.at("kind").text == "synchronous" ? NetworkKind::synchronous
+                                                   : NetworkKind::asynchronous;
+  out.seed = root.at("seed").u64();
+  out.tick_us = root.at("tick_us").i64();
+  out.backend = root.at("backend").text;
+  out.records.reserve(records->items.size());
+  for (const JsonValue& rec : records->items) {
+    if (!rec.is_object()) {
+      error = "schedule: record is not an object";
+      return false;
+    }
+    ScheduleRecord r;
+    r.from = static_cast<PartyId>(rec.at("from").i64());
+    r.to = static_cast<PartyId>(rec.at("to").i64());
+    r.key = rec.at("key").text;
+    r.seq = rec.at("seq").u64();
+    r.send_tick = rec.at("send").i64();
+    r.arrival_tick = rec.at("arrival").i64();
+    out.records.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace nampc

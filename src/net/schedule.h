@@ -1,0 +1,62 @@
+// Record/replay bridge between transport backends ("nampc-schedule/1").
+//
+// A real-concurrency run (net/threaded.h) records, for every cross-party
+// message, who sent it, on which protocol-instance channel, its per-channel
+// sequence number, and the send/arrival virtual ticks observed on the wall
+// clock. The recorded schedule exports as "nampc-schedule/1" JSON and
+// re-imports as a DES delay schedule (adversary/replay.h): the DES re-runs
+// the same protocol with the real network's delays, deterministically, under
+// the full observability stack — monitors, nampc_trace, nampc_prof — so a
+// real-network anomaly replays byte-identically as many times as it takes
+// to understand it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/adversary.h"  // NetworkKind
+#include "net/message.h"
+#include "net/time.h"
+
+namespace nampc {
+
+/// One recorded cross-party delivery. `seq` counts the sender's messages on
+/// the (from, to, key) channel, in send order — the replay key. Ticks are
+/// virtual times on the recording run's shared wall-tick clock.
+struct ScheduleRecord {
+  PartyId from = -1;
+  PartyId to = -1;
+  std::string key;
+  std::uint64_t seq = 0;
+  Time send_tick = 0;
+  Time arrival_tick = 0;
+};
+
+/// A captured delivery schedule plus the run context it was captured under.
+struct RecordedSchedule {
+  ProtocolParams params;
+  NetworkKind kind = NetworkKind::asynchronous;
+  std::uint64_t seed = 1;
+  /// Wall microseconds per virtual tick in the recording run.
+  std::int64_t tick_us = 100;
+  std::string backend = "threaded";
+  std::vector<ScheduleRecord> records;
+
+  /// Canonical order: (from, to, key, seq). Export sorts so that equal
+  /// captures serialise byte-identically regardless of thread interleaving
+  /// during the merge.
+  void sort();
+};
+
+/// Serialises as "nampc-schedule/1" JSON (records in canonical order; call
+/// schedule.sort() first if the capture order is nondeterministic).
+void write_schedule(std::ostream& os, const RecordedSchedule& schedule);
+
+/// Parses "nampc-schedule/1" JSON. Returns false (with a diagnostic in
+/// `error`) on malformed input or a schema mismatch.
+[[nodiscard]] bool read_schedule(const std::string& text,
+                                 RecordedSchedule& out, std::string& error);
+
+}  // namespace nampc

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/tracer.h"
@@ -47,9 +48,8 @@ Simulation::Simulation(Config config, std::shared_ptr<Adversary> adversary)
   for (int i = 0; i < config_.params.n; ++i) {
     parties_.push_back(std::make_unique<Party>(*this, i));
   }
-  last_arrival_.assign(static_cast<std::size_t>(config_.params.n) *
-                           static_cast<std::size_t>(config_.params.n),
-                       0);
+  des_transport_ = std::make_unique<DesTransport>(config_.params.n);
+  transport_ = des_transport_.get();
 }
 
 Simulation::~Simulation() {
@@ -61,6 +61,20 @@ Simulation::~Simulation() {
 void Simulation::set_monitors(obs::MonitorEngine* monitors) {
   monitors_ = monitors;
   if (monitors_ != nullptr) monitors_->bind(*this);
+}
+
+void Simulation::notify_monitors(obs::ProtocolEvent ev) {
+  if (monitors_ == nullptr) return;
+  if (monitor_mu_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(*monitor_mu_);
+    monitors_->on_event(std::move(ev));
+    return;
+  }
+  monitors_->on_event(std::move(ev));
+}
+
+void Simulation::set_transport(Transport* transport) {
+  transport_ = transport != nullptr ? transport : des_transport_.get();
 }
 
 Party& Simulation::party(PartyId id) {
@@ -120,15 +134,6 @@ void Simulation::recycle_payload(Words&& payload) {
   registry_->on_recycle();
 }
 
-Time Simulation::default_delay(PartyId from, PartyId to) {
-  (void)from;
-  (void)to;
-  if (config_.kind == NetworkKind::synchronous) {
-    return rng_.next_in(1, config_.delta);
-  }
-  return rng_.next_in(1, config_.async_spread * config_.delta);
-}
-
 void Simulation::post_message(Message msg) {
   NAMPC_REQUIRE(msg.from >= 0 && msg.from < n() && msg.to >= 0 && msg.to < n(),
                 "message endpoints out of range");
@@ -137,7 +142,8 @@ void Simulation::post_message(Message msg) {
     tracer_->on_send(msg.from, msg.instance(), msg.payload.size());
   }
 
-  // Self-delivery bypasses the network (a party talking to itself).
+  // Self-delivery bypasses the network (a party talking to itself) in
+  // every backend; only cross-party traffic reaches the transport seam.
   if (msg.from == msg.to) {
     if (tracer_) {
       tracer_->on_flow(msg.from, msg.to, msg.payload.size(), now_, now_,
@@ -147,59 +153,49 @@ void Simulation::post_message(Message msg) {
     return;
   }
 
-  const bool corrupt_sender = adversary_->is_corrupt(msg.from);
-  SendDecision decision =
-      adversary_->on_send(msg, now_, config_.kind, rng_);
+  transport_->post(*this, std::move(msg));
+}
 
-  // Model enforcement: only corrupt senders can be dropped or rewritten.
-  if (!corrupt_sender) {
-    decision.deliver = true;
-    decision.replacement.reset();
-  }
-  if (!decision.deliver) return;
-
-  const PartyId orig_from = msg.from;
-  const PartyId orig_to = msg.to;
-  Message final_msg = decision.replacement.has_value()
-                          ? std::move(*decision.replacement)
-                          : std::move(msg);
-  // Channels are authenticated (§3.1): even a corrupt sender cannot spoof
-  // another party or redirect the channel.
-  NAMPC_REQUIRE(final_msg.from == orig_from && final_msg.to == orig_to,
-                "adversary cannot change message endpoints");
-
-  // Delay resolution order (adversary.h contract): explicit decision,
-  // then the adversary's scheduler-sampling hook, then the model default.
-  Time delay;
-  if (decision.delay.has_value()) {
-    delay = *decision.delay;
-  } else if (const std::optional<Time> sampled =
-                 adversary_->sample_delay(final_msg, now_, config_.kind, rng_);
-             sampled.has_value()) {
-    delay = *sampled;
+void Simulation::dispatch_top() {
+  const Event& top = queue_.top();
+  registry_->advance_time(top.time);
+  now_ = top.time;
+  if (top.is_delivery) {
+    Message m = std::move(const_cast<Event&>(top).msg);
+    queue_.pop();
+    registry_->on_dispatch(m.instance_id, m.to, /*delivery=*/true, m.type,
+                           now_, m.payload.size());
+    party(m.to).deliver(m);
+    recycle_payload(std::move(m.payload));
   } else {
-    delay = default_delay(final_msg.from, final_msg.to);
+    const std::uint32_t owner = top.owner;
+    const PartyId owner_party = top.owner_party;
+    const int klass = top.klass;
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    registry_->on_dispatch(owner, owner_party, /*delivery=*/false, klass,
+                           now_, 0);
+    fn();
   }
-  if (delay < 1) delay = 1;
-  if (config_.kind == NetworkKind::synchronous && !corrupt_sender) {
-    delay = std::min<Time>(delay, config_.delta);
-  }
+}
 
-  Time arrival = now_ + delay;
-  if (config_.kind == NetworkKind::synchronous) {
-    // FIFO per channel (§3.1: "delivered in the same order they are sent").
-    Time& last = last_arrival_[static_cast<std::size_t>(final_msg.from) *
-                                   static_cast<std::size_t>(n()) +
-                               static_cast<std::size_t>(final_msg.to)];
-    arrival = std::max(arrival, last);
-    last = arrival;
-  }
+std::optional<Time> Simulation::next_event_time() const {
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
 
-  if (tracer_) {
-    tracer_->on_flow(final_msg.from, final_msg.to, final_msg.payload.size(),
-                     now_, arrival, final_msg.instance());
+bool Simulation::run_one() {
+  if (queue_.empty()) {
+    last_status_ = RunStatus::quiescent;
+    return false;
   }
-  schedule_delivery(arrival, std::move(final_msg));
+  if (metrics_.events_processed >= config_.max_events) {
+    on_event_limit();
+    last_status_ = RunStatus::event_limit;
+    return false;
+  }
+  dispatch_top();
+  return true;
 }
 
 RunStatus Simulation::run() {
@@ -209,31 +205,12 @@ RunStatus Simulation::run() {
       last_status_ = RunStatus::event_limit;
       return RunStatus::event_limit;
     }
-    const Event& top = queue_.top();
-    if (top.time >= config_.horizon) {
+    if (queue_.top().time >= config_.horizon) {
       registry_->finish(now_);
       last_status_ = RunStatus::horizon;
       return RunStatus::horizon;
     }
-    registry_->advance_time(top.time);
-    now_ = top.time;
-    if (top.is_delivery) {
-      Message m = std::move(const_cast<Event&>(top).msg);
-      queue_.pop();
-      registry_->on_dispatch(m.instance_id, m.to, /*delivery=*/true, m.type,
-                             now_, m.payload.size());
-      party(m.to).deliver(m);
-      recycle_payload(std::move(m.payload));
-    } else {
-      const std::uint32_t owner = top.owner;
-      const PartyId owner_party = top.owner_party;
-      const int klass = top.klass;
-      auto fn = std::move(const_cast<Event&>(top).fn);
-      queue_.pop();
-      registry_->on_dispatch(owner, owner_party, /*delivery=*/false, klass,
-                             now_, 0);
-      fn();
-    }
+    dispatch_top();
   }
   registry_->finish(now_);
   // Monitors first: a quiescence violation should be recorded (and
@@ -286,6 +263,9 @@ void Simulation::on_event_limit() {
   std::cerr << dump.str();
   // Env-gated flight-record dump: CI legs set NAMPC_FLIGHT_DIR so any
   // valve trip anywhere (cli, bench, fuzz) leaves an artifact behind.
+  // last_flight_path_ keeps the written name so drivers (table_scaling)
+  // can point at the artifact from their own summaries.
+  last_flight_path_.clear();
   if (const char* dir = std::getenv("NAMPC_FLIGHT_DIR");
       dir != nullptr && dir[0] != '\0') {
     std::ostringstream name;
@@ -294,7 +274,10 @@ void Simulation::on_event_limit() {
          << "_seed" << config_.seed << "_e" << metrics_.events_processed
          << "_i" << instance_count() << ".json";
     std::ofstream out(name.str());
-    if (out) obs::write_flight_record(out, *this);
+    if (out) {
+      obs::write_flight_record(out, *this);
+      last_flight_path_ = name.str();
+    }
   }
 }
 
@@ -419,16 +402,16 @@ void ProtocolInstance::span_done() {
 }
 
 void ProtocolInstance::notify_input(Words value) {
-  if (auto* monitors = sim().monitors()) {
-    monitors->on_event({/*input=*/true, kind_, key_, my_id(),
-                        !party_.corrupt(), now(), std::move(value)});
+  if (sim().monitors() != nullptr) {
+    sim().notify_monitors({/*input=*/true, kind_, key_, my_id(),
+                           !party_.corrupt(), now(), std::move(value)});
   }
 }
 
 void ProtocolInstance::notify_output(Words value) {
-  if (auto* monitors = sim().monitors()) {
-    monitors->on_event({/*input=*/false, kind_, key_, my_id(),
-                        !party_.corrupt(), now(), std::move(value)});
+  if (sim().monitors() != nullptr) {
+    sim().notify_monitors({/*input=*/false, kind_, key_, my_id(),
+                           !party_.corrupt(), now(), std::move(value)});
   }
 }
 

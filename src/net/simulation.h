@@ -11,6 +11,10 @@
 // or modified; in a synchronous network they arrive within Δ and in FIFO
 // order per channel. Corrupt senders can do anything, including staying
 // silent forever.
+//
+// Delivery itself goes through a pluggable Transport (net/transport.h);
+// the DES scheduler above is the default backend, and net/threaded.h runs
+// the same protocol code over real threads instead.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -37,10 +43,13 @@ class Tracer;
 class MonitorEngine;
 class MetricsRegistry;
 struct QueueStats;
+struct ProtocolEvent;
 }
 
 class Party;
 class ProtocolInstance;
+class Transport;
+class DesTransport;
 
 /// True when NAMPC_SCALING_BASELINE is set in the environment: disables the
 /// scaling-path optimisations that have a behaviour-identical slow twin
@@ -138,6 +147,23 @@ class Simulation {
   void set_monitors(obs::MonitorEngine* monitors);
   [[nodiscard]] obs::MonitorEngine* monitors() const { return monitors_; }
 
+  /// Serialises monitor-engine access when one engine is shared across
+  /// concurrently-running party runtimes (the threaded backend —
+  /// net/threaded.h). Null (the default) means no locking: the DES is
+  /// single-threaded. Not owned.
+  void set_monitor_lock(std::mutex* mu) { monitor_mu_ = mu; }
+
+  /// Reports a protocol event to the attached monitor engine, taking the
+  /// monitor lock when one is set. No-op without an engine.
+  void notify_monitors(obs::ProtocolEvent ev);
+
+  /// Attaches (or detaches, with nullptr) the delivery backend used for
+  /// messages whose endpoints differ — see net/transport.h. Not owned and
+  /// must outlive this Simulation; detaching restores the built-in DES
+  /// transport, which is always the default.
+  void set_transport(Transport* transport);
+  [[nodiscard]] Transport& transport() { return *transport_; }
+
   [[nodiscard]] Party& party(PartyId id);
   [[nodiscard]] int n() const { return config_.params.n; }
 
@@ -185,15 +211,34 @@ class Simulation {
   /// Returns a delivered payload's buffer to the freelist.
   void recycle_payload(Words&& payload);
 
-  /// Sends a message through the adversarial network. The adversary's
-  /// SendDecision is applied under the model-enforcement contract of
-  /// net/adversary.h (honest integrity, Δ-clamping, FIFO); the delivery
-  /// delay resolves as explicit decision → Adversary::sample_delay →
-  /// built-in model distribution.
+  /// Sends a message through the attached transport (self-deliveries
+  /// bypass the network here). Under the default DES transport the
+  /// adversary's SendDecision is applied under the model-enforcement
+  /// contract of net/adversary.h (honest integrity, Δ-clamping, FIFO); the
+  /// delivery delay resolves as explicit decision → Adversary::sample_delay
+  /// → built-in model distribution.
   void post_message(Message msg);
 
   /// Runs until quiescence, the horizon, or the event limit.
   RunStatus run();
+
+  /// Next pending event's virtual time, or nullopt when the queue is empty.
+  /// Part of the stepping API used by external runtimes (net/threaded.h)
+  /// that interleave local DES events with transport traffic.
+  [[nodiscard]] std::optional<Time> next_event_time() const;
+
+  /// Pops and executes the single earliest pending event, advancing now().
+  /// Returns false — setting last_status() to quiescent or event_limit —
+  /// when the queue is empty or the valve trips; the horizon is not
+  /// consulted (stepping runtimes gate on next_event_time themselves).
+  bool run_one();
+
+  /// Path of the flight-record JSON written by the most recent event-limit
+  /// trip ("" when none was written — no trip yet, or NAMPC_FLIGHT_DIR
+  /// unset), so drivers can name the artifact in their own summaries.
+  [[nodiscard]] const std::string& last_flight_path() const {
+    return last_flight_path_;
+  }
 
   /// Type-erased shared state for ideal-functionality gadgets (Ideal BC/BA).
   /// Creates the object on first access via `factory`.
@@ -230,11 +275,12 @@ class Simulation {
     }
   };
 
-  [[nodiscard]] Time default_delay(PartyId from, PartyId to);
-
   void audit_privacy() const;
 
   void push_event(Event ev);
+
+  /// Pops and dispatches the top event (shared by run and run_one).
+  void dispatch_top();
 
   /// Composition of the pending event queue (flight recorder, cold path).
   [[nodiscard]] obs::QueueStats queue_stats() const;
@@ -248,6 +294,7 @@ class Simulation {
   std::shared_ptr<Adversary> adversary_;
   obs::Tracer* tracer_ = nullptr;
   obs::MonitorEngine* monitors_ = nullptr;
+  std::mutex* monitor_mu_ = nullptr;
   Metrics metrics_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   RunStatus last_status_ = RunStatus::quiescent;
@@ -256,7 +303,11 @@ class Simulation {
   std::uint64_t seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::vector<std::unique_ptr<Party>> parties_;
-  std::vector<Time> last_arrival_;  // FIFO (sync), indexed from * n + to
+  // Delivery backend: des_transport_ is the built-in default, transport_
+  // the active (possibly externally attached) one.
+  std::unique_ptr<DesTransport> des_transport_;
+  Transport* transport_ = nullptr;
+  std::string last_flight_path_;
   std::map<std::string, std::shared_ptr<void>> gadgets_;
   // Instance-key interner: dense ids for vector routing (see message.h).
   // The deque keeps every interned string at a stable address.
