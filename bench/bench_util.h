@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "util/json.h"
+#include "util/thread_safety.h"
 
 namespace nampc::bench {
 
@@ -99,7 +100,9 @@ inline void banner(const std::string& title) {
 /// Atomic because grid cells fan out through the sweep engine's worker
 /// threads; each MonitoredRun folds its counts in on destruction.
 struct MonitorTally {
+  NAMPC_LOCK_FREE("summed into from concurrent sweep workers, read at exit")
   std::atomic<std::uint64_t> events{0};
+  NAMPC_LOCK_FREE("summed into from concurrent sweep workers, read at exit")
   std::atomic<std::uint64_t> violations{0};
 };
 

@@ -1,0 +1,266 @@
+// Concurrency pass: lock-discipline rules the Clang capability analysis
+// (util/thread_safety.h, -Wthread-safety) cannot express. Five rules:
+//
+//   conc-guard           raw std::mutex/std::condition_variable declarations
+//                        (invisible to the capability analysis — use the
+//                        annotated Mutex/CondVar wrappers), and std::atomic
+//                        members without a NAMPC_GUARDED_BY-family or
+//                        NAMPC_LOCK_FREE annotation.
+//   conc-raw-lock        explicit .lock()/.unlock() calls: acquisition must
+//                        be RAII (MutexLock) so no exit path leaks a lock.
+//   conc-wait-predicate  condvar wait/wait_for/wait_until without the
+//                        predicate form — the non-predicated shapes invite
+//                        lost-wakeup and spurious-wakeup bugs.
+//   conc-wallclock       steady_clock/this_thread/sleep_for tokens outside
+//                        the explicit allowlist (the threaded transport's
+//                        wall-tick clock, the thread pool, bench timers) —
+//                        wall-clock anywhere else breaks replay determinism.
+//   conc-protocol        any concurrency primitive in src/{broadcast,
+//                        sharing,acs,rs,circuit}: protocol code is
+//                        single-threaded per Simulation by model contract;
+//                        the only seams to real concurrency are Transport
+//                        and the monitor lock (DESIGN.md §15).
+//
+// src/util/thread_safety.h is exempt end to end: it *defines* the
+// vocabulary, so it necessarily holds the raw primitives and lock calls.
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace nampc::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// The one file allowed to touch raw primitives: it wraps them into the
+/// annotated vocabulary everything else must use.
+[[nodiscard]] bool vocabulary_file(const std::string& path) {
+  return path == "src/util/thread_safety.h";
+}
+
+/// Layers bound by the zero-concurrency model contract.
+[[nodiscard]] bool protocol_scope(const std::string& path) {
+  return starts_with(path, "src/broadcast/") ||
+         starts_with(path, "src/sharing/") || starts_with(path, "src/acs/") ||
+         starts_with(path, "src/rs/") || starts_with(path, "src/circuit/");
+}
+
+/// std mutex/condvar types that must appear only behind the wrappers.
+[[nodiscard]] bool raw_lock_type(const std::string& t) {
+  return t == "mutex" || t == "timed_mutex" || t == "recursive_mutex" ||
+         t == "recursive_timed_mutex" || t == "shared_mutex" ||
+         t == "shared_timed_mutex" || t == "condition_variable" ||
+         t == "condition_variable_any";
+}
+
+/// std::atomic and its aliases (atomic_bool, atomic_flag, ...).
+[[nodiscard]] bool atomic_type(const std::string& t) {
+  return starts_with(t, "atomic");
+}
+
+/// Annotation tokens that satisfy conc-guard for an atomic declaration.
+[[nodiscard]] bool guard_annotation(const std::string& t) {
+  return t == "NAMPC_GUARDED_BY" || t == "NAMPC_PT_GUARDED_BY" ||
+         t == "NAMPC_LOCK_FREE";
+}
+
+/// Tokens protocol code may not mention at all (wrappers included: the
+/// contract is zero primitives, not annotated ones).
+[[nodiscard]] bool protocol_banned(const std::string& t) {
+  return raw_lock_type(t) || atomic_type(t) || t == "thread" ||
+         t == "jthread" || t == "Mutex" || t == "MutexLock" ||
+         t == "CondVar" || t == "lock_guard" || t == "unique_lock" ||
+         t == "scoped_lock" || t == "shared_lock" || t == "call_once" ||
+         t == "once_flag" || t == "counting_semaphore" ||
+         t == "binary_semaphore" || t == "latch" || t == "barrier";
+}
+
+/// Per-token wall-clock allowlist. The threaded backend converts the wall
+/// clock into virtual ticks (that is its whole job), the thread pool may
+/// park workers, and bench tables measure wall time; nothing else may.
+[[nodiscard]] bool wallclock_allowed(const std::string& token,
+                                     const std::string& path) {
+  if (starts_with(path, "bench/")) return true;  // wall-clock timers
+  if (token == "steady_clock") {
+    return path == "src/net/threaded.h" || path == "src/net/threaded.cpp" ||
+           path == "src/util/thread_pool.h" ||
+           path == "src/util/thread_pool.cpp";
+  }
+  if (token == "this_thread") {
+    // threaded.cpp: the owning-thread assertion in ThreadedTransport::post.
+    return path == "src/net/threaded.cpp" ||
+           path == "src/util/thread_pool.cpp";
+  }
+  // sleep_for / sleep_until: bench only. PR 10 made run_threaded teardown
+  // event-driven, so nothing in src/ sleeps any more.
+  return false;
+}
+
+[[nodiscard]] bool wallclock_token(const std::string& t) {
+  return t == "steady_clock" || t == "this_thread" || t == "sleep_for" ||
+         t == "sleep_until";
+}
+
+/// Lines whose code part is a preprocessor directive (`#include <mutex>`
+/// is not a finding).
+[[nodiscard]] std::vector<bool> preprocessor_lines(const ScannedFile& file) {
+  std::vector<bool> preproc(file.lines.size() + 1, false);
+  for (std::size_t ln = 1; ln <= file.lines.size(); ++ln) {
+    const std::string& code = file.line(static_cast<int>(ln)).code;
+    const auto first = code.find_first_not_of(" \t");
+    if (first != std::string::npos && code[first] == '#') preproc[ln] = true;
+  }
+  return preproc;
+}
+
+[[nodiscard]] std::string trimmed_line(const ScannedFile& file, int line) {
+  std::string s = file.line(line).code;
+  const auto first = s.find_first_not_of(" \t");
+  if (first != std::string::npos) s.erase(0, first);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.pop_back();
+  return s;
+}
+
+[[nodiscard]] bool is_member_access(const std::string& t) {
+  return t == "." || t == "->";
+}
+
+}  // namespace
+
+void pass_concurrency(const ScannedFile& file, std::vector<Finding>& out) {
+  if (vocabulary_file(file.path)) return;
+
+  const std::vector<Token> toks = tokenize_file(file);
+  const std::vector<bool> preproc = preprocessor_lines(file);
+  const auto is_preproc = [&](int line) {
+    return line >= 1 && line < static_cast<int>(preproc.size()) &&
+           preproc[static_cast<std::size_t>(line)];
+  };
+  const auto add = [&](const Token& tok, const char* rule,
+                       std::string message) {
+    Finding f;
+    f.file = file.path;
+    f.line = tok.line;
+    f.column = tok.column;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.snippet = trimmed_line(file, tok.line);
+    out.push_back(std::move(f));
+  };
+  const auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < toks.size() ? toks[i].text : empty;
+  };
+
+  const bool protocol = protocol_scope(file.path);
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (is_preproc(toks[i].line)) continue;
+
+    // --- conc-wallclock (all scopes, protocol dirs included) -------------
+    if (wallclock_token(t) && !wallclock_allowed(t, file.path)) {
+      add(toks[i], kRuleConcWallClock,
+          "'" + t +
+              "' is wall-clock/thread timing outside the allowlist "
+              "(net/threaded, util/thread_pool, bench); simulation code "
+              "must use virtual time");
+    }
+
+    // --- conc-protocol: the short-circuit model contract ------------------
+    if (protocol) {
+      if (protocol_banned(t)) {
+        add(toks[i], kRuleConcProtocol,
+            "'" + t +
+                "' in protocol code: protocol instances are single-threaded "
+                "per Simulation; concurrency enters only via Transport and "
+                "the monitor lock");
+      }
+      continue;  // guard/raw-lock/wait rules are subsumed by the ban
+    }
+
+    // --- conc-guard -------------------------------------------------------
+    // `std :: <type>` outside a template-argument position is a
+    // declaration (or a bare-type mention that belongs in one).
+    if (t == "std" && text(i + 1) == "::" &&
+        (raw_lock_type(text(i + 2)) || atomic_type(text(i + 2)))) {
+      const bool template_arg =
+          i > 0 && (toks[i - 1].text == "<" || toks[i - 1].text == ",");
+      if (!template_arg) {
+        const std::string& type = text(i + 2);
+        if (raw_lock_type(type)) {
+          add(toks[i + 2], kRuleConcGuard,
+              "raw std::" + type +
+                  " is invisible to -Wthread-safety; declare the annotated "
+                  "Mutex/CondVar from util/thread_safety.h instead");
+        } else {
+          // Atomic: accept an annotation anywhere in the declaration
+          // statement — NAMPC_GUARDED_BY trails the declarator, and
+          // NAMPC_LOCK_FREE (expanding to nothing) conventionally sits on
+          // the line above, inside the same statement window.
+          bool annotated = false;
+          for (std::size_t j = i + 2; j < toks.size(); ++j) {
+            if (guard_annotation(toks[j].text)) annotated = true;
+            if (toks[j].text == ";") break;
+          }
+          for (std::size_t j = i; j-- > 0;) {
+            if (guard_annotation(toks[j].text)) annotated = true;
+            if (toks[j].text == ";" || toks[j].text == "{" ||
+                toks[j].text == "}") {
+              break;
+            }
+          }
+          if (!annotated) {
+            add(toks[i + 2], kRuleConcGuard,
+                "std::" + type +
+                    " without a NAMPC_GUARDED_BY / NAMPC_LOCK_FREE "
+                    "annotation: say which lock protects it, or why none "
+                    "must");
+          }
+        }
+      }
+    }
+
+    // --- conc-raw-lock ----------------------------------------------------
+    if (is_member_access(t) &&
+        (text(i + 1) == "lock" || text(i + 1) == "unlock") &&
+        text(i + 2) == "(" && text(i + 3) == ")") {
+      add(toks[i + 1], kRuleConcRawLock,
+          "raw ." + text(i + 1) +
+              "() call: acquisition must be RAII (MutexLock) so every exit "
+              "path releases");
+    }
+
+    // --- conc-wait-predicate ----------------------------------------------
+    if (is_member_access(t) &&
+        (text(i + 1) == "wait" || text(i + 1) == "wait_for" ||
+         text(i + 1) == "wait_until") &&
+        text(i + 2) == "(") {
+      const bool timed = text(i + 1) != "wait";
+      int depth = 0;
+      int commas = 0;
+      for (std::size_t j = i + 2; j < toks.size(); ++j) {
+        const std::string& u = toks[j].text;
+        if (u == "(" || u == "[" || u == "{") ++depth;
+        if (u == ")" || u == "]" || u == "}") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (depth == 1 && u == ",") ++commas;
+      }
+      // Predicate form: wait(lock, pred) / wait_for(lock, timeout, pred).
+      if (commas < (timed ? 2 : 1)) {
+        add(toks[i + 1], kRuleConcWaitPred,
+            "condvar " + text(i + 1) +
+                " without a predicate: spurious wakeups and lost notifies "
+                "make the unpredicated form a latent hang");
+      }
+    }
+  }
+}
+
+}  // namespace nampc::lint

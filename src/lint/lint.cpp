@@ -32,6 +32,7 @@ struct FileResult {
   pass_determinism(file, result.findings);
   pass_threshold(file, table, result.findings, &result.used_symbols);
   pass_model(file, result.findings);
+  pass_concurrency(file, result.findings);
   for (Finding& f : result.findings) {
     f.suppressed = is_suppressed(file, f.line, f.rule);
   }
@@ -124,6 +125,20 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "delta-clamping"},
       {kRuleModelStatic,
        "mutable static state shared across parties in one process"},
+      {kRuleConcGuard,
+       "raw std::mutex/condition_variable (use the annotated Mutex/CondVar "
+       "wrappers) or std::atomic without a NAMPC_GUARDED_BY/NAMPC_LOCK_FREE "
+       "annotation"},
+      {kRuleConcRawLock,
+       "explicit .lock()/.unlock() call instead of RAII (MutexLock)"},
+      {kRuleConcWaitPred,
+       "condvar wait/wait_for/wait_until without the predicate form"},
+      {kRuleConcWallClock,
+       "steady_clock/this_thread/sleep_for outside the wall-clock allowlist "
+       "(net/threaded, util/thread_pool, bench)"},
+      {kRuleConcProtocol,
+       "concurrency primitive declared in protocol code, which is "
+       "single-threaded per Simulation by model contract"},
   };
   return catalogue;
 }
@@ -159,6 +174,80 @@ void Report::render_json(std::ostream& os) const {
     w.kv("suppressed", f.suppressed);
     w.end_object();
   }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void Report::render_sarif(std::ostream& os) const {
+  // One SARIF 2.1.0 run: the full rule catalogue as reportingDescriptors,
+  // one result per finding ("nampc-lint/1" → SARIF). Deterministic — the
+  // findings are pre-sorted and nothing here reads a clock or absolute
+  // path, so CI uploads are byte-stable across runners and --jobs counts.
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  w.kv("version", "2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.kv("name", "nampc_lint");
+  w.kv("informationUri", "https://example.invalid/nampc/DESIGN.md#lint");
+  w.kv("semanticVersion", "1.0.0");
+  w.key("rules").begin_array();
+  for (const RuleInfo& rule : rule_catalogue()) {
+    w.begin_object();
+    w.kv("id", rule.name);
+    w.key("shortDescription").begin_object();
+    w.kv("text", rule.summary);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+
+  w.key("results").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.kv("ruleId", f.rule);
+    w.kv("level", "error");
+    w.key("message").begin_object();
+    w.kv("text", f.message);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.kv("uri", f.file);
+    w.end_object();
+    w.key("region").begin_object();
+    w.kv("startLine", f.line);
+    w.kv("startColumn", f.column);
+    if (!f.snippet.empty()) {
+      w.key("snippet").begin_object();
+      w.kv("text", f.snippet);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    w.end_object();
+    w.end_array();
+    if (f.suppressed) {
+      w.key("suppressions").begin_array();
+      w.begin_object();
+      w.kv("kind", "inSource");
+      w.kv("justification", "NOLINT-NAMPC annotation at the finding site");
+      w.end_object();
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
   w.end_array();
   w.end_object();
   os << '\n';

@@ -18,6 +18,12 @@
 //                 sim-level scheduling, shared_state<> gadgets and mutable
 //                 statics are flagged (ideal-functionality gadgets carry
 //                 justified NOLINT-NAMPC suppressions).
+//   concurrency   lock discipline beyond what Clang's -Wthread-safety
+//                 capability analysis (util/thread_safety.h) can express:
+//                 primitives must speak the annotation vocabulary, lock
+//                 acquisition is RAII-only, condvar waits are predicated,
+//                 wall-clock tokens are allowlisted, and protocol code
+//                 declares zero concurrency primitives (PR 10).
 //
 // The analysis is a self-contained lexer/matcher — no libclang — and runs
 // per-file on the PR-2 sweep engine with submission-order merge, so reports
@@ -48,6 +54,11 @@ inline constexpr const char* kRuleModelShared = "model-shared-state";
 inline constexpr const char* kRuleModelDelivery = "model-direct-delivery";
 inline constexpr const char* kRuleModelSchedule = "model-sim-schedule";
 inline constexpr const char* kRuleModelStatic = "model-mutable-static";
+inline constexpr const char* kRuleConcGuard = "conc-guard";
+inline constexpr const char* kRuleConcRawLock = "conc-raw-lock";
+inline constexpr const char* kRuleConcWaitPred = "conc-wait-predicate";
+inline constexpr const char* kRuleConcWallClock = "conc-wallclock";
+inline constexpr const char* kRuleConcProtocol = "conc-protocol";
 
 /// Every rule with its one-line catalogue entry (rendered by --list-rules
 /// and documented in DESIGN.md §9).
@@ -115,6 +126,10 @@ struct Report {
   /// "nampc-lint/1" JSON document. Deterministic: no timestamps, relative
   /// paths only, findings pre-sorted — byte-identical across --jobs counts.
   void render_json(std::ostream& os) const;
+  /// SARIF 2.1.0 document (one run, driver "nampc_lint", full rule
+  /// catalogue) for code-scanning upload. Suppressed findings carry an
+  /// inSource suppression object. Deterministic like render_json.
+  void render_sarif(std::ostream& os) const;
 };
 
 /// Lints in-memory sources (path, content). Paths select the per-directory
@@ -155,5 +170,6 @@ void pass_threshold(const ScannedFile& file, const ThresholdTable* table,
                     std::vector<Finding>& out,
                     std::vector<std::string>* used_symbols);
 void pass_model(const ScannedFile& file, std::vector<Finding>& out);
+void pass_concurrency(const ScannedFile& file, std::vector<Finding>& out);
 
 }  // namespace nampc::lint

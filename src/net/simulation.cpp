@@ -66,7 +66,7 @@ void Simulation::set_monitors(obs::MonitorEngine* monitors) {
 void Simulation::notify_monitors(obs::ProtocolEvent ev) {
   if (monitors_ == nullptr) return;
   if (monitor_mu_ != nullptr) {
-    const std::lock_guard<std::mutex> lock(*monitor_mu_);
+    const MutexLock lock(*monitor_mu_);
     monitors_->on_event(std::move(ev));
     return;
   }

@@ -22,7 +22,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -35,6 +34,7 @@
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/thread_safety.h"
 
 namespace nampc {
 
@@ -151,7 +151,7 @@ class Simulation {
   /// concurrently-running party runtimes (the threaded backend —
   /// net/threaded.h). Null (the default) means no locking: the DES is
   /// single-threaded. Not owned.
-  void set_monitor_lock(std::mutex* mu) { monitor_mu_ = mu; }
+  void set_monitor_lock(Mutex* mu) { monitor_mu_ = mu; }
 
   /// Reports a protocol event to the attached monitor engine, taking the
   /// monitor lock when one is set. No-op without an engine.
@@ -294,7 +294,7 @@ class Simulation {
   std::shared_ptr<Adversary> adversary_;
   obs::Tracer* tracer_ = nullptr;
   obs::MonitorEngine* monitors_ = nullptr;
-  std::mutex* monitor_mu_ = nullptr;
+  Mutex* monitor_mu_ = nullptr;
   Metrics metrics_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
   RunStatus last_status_ = RunStatus::quiescent;

@@ -16,7 +16,7 @@ void ThreadedFabric::push(WireMessage m) {
   NAMPC_REQUIRE(m.to >= 0 && m.to < n_, "wire message receiver out of range");
   Mailbox& box = *boxes_[static_cast<std::size_t>(m.to)];
   {
-    const std::lock_guard<std::mutex> lock(box.mu);
+    const MutexLock lock(box.mu);
     box.q.push_back(std::move(m));
   }
   box.cv.notify_one();
@@ -24,7 +24,7 @@ void ThreadedFabric::push(WireMessage m) {
 
 bool ThreadedFabric::try_pop(PartyId self, WireMessage& out) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
-  const std::lock_guard<std::mutex> lock(box.mu);
+  const MutexLock lock(box.mu);
   if (box.q.empty()) return false;
   out = std::move(box.q.front());
   box.q.pop_front();
@@ -34,9 +34,10 @@ bool ThreadedFabric::try_pop(PartyId self, WireMessage& out) {
 bool ThreadedFabric::pop(PartyId self, WireMessage& out,
                          std::chrono::microseconds wait) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait_for(lock, wait,
-                  [&] { return !box.q.empty() || stop_.load(); });
+  const MutexLock lock(box.mu);
+  box.cv.wait_for(box.mu, wait, [&]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+    return !box.q.empty() || stop_.load();
+  });
   if (box.q.empty()) return false;
   out = std::move(box.q.front());
   box.q.pop_front();
@@ -46,20 +47,48 @@ bool ThreadedFabric::pop(PartyId self, WireMessage& out,
 void ThreadedFabric::mark_done() {
   done_.fetch_add(1);
   // The last completion wakes every idle runtime so nobody waits out a
-  // full poll interval before noticing the run is over.
+  // full poll interval before noticing the run is over, and signals the
+  // driver's completion wait.
   if (all_done()) {
     for (auto& box : boxes_) box->cv.notify_all();
+    // Empty critical section: orders the counter update against a driver
+    // that already evaluated the wait_done predicate and is about to
+    // sleep — without it the notify could fall into that gap and be lost.
+    { const MutexLock lock(done_mu_); }
+    done_cv_.notify_all();
   }
 }
 
 void ThreadedFabric::request_stop() {
   stop_.store(true);
   for (auto& box : boxes_) box->cv.notify_all();
+  { const MutexLock lock(done_mu_); }  // see mark_done for why
+  done_cv_.notify_all();
+}
+
+bool ThreadedFabric::wait_done(std::chrono::steady_clock::time_point deadline) {
+  MutexLock lock(done_mu_);
+  (void)done_cv_.wait_until(done_mu_, deadline,
+                            [this]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+                              return all_done() || stop_.load();
+                            });
+  return all_done();
 }
 
 void ThreadedTransport::post(Simulation& sim, Message msg) {
   NAMPC_REQUIRE(msg.instance_name != nullptr,
                 "threaded transport needs instance-keyed messages");
+#ifndef NDEBUG
+  // seq_ is an unlocked map; that is safe only because every post() runs
+  // on the owning party's runtime thread. Pin the invariant in debug
+  // builds: the first caller claims the transport, later callers must be
+  // the same thread.
+  const std::thread::id self = std::this_thread::get_id();
+  if (owner_thread_ == std::thread::id{}) owner_thread_ = self;
+  NAMPC_ASSERT(owner_thread_ == self,
+               "ThreadedTransport::post called from a foreign thread; seq_ "
+               "is only safe on the owning party's runtime thread");
+#endif
   WireMessage w;
   w.from = msg.from;
   w.to = msg.to;
@@ -82,7 +111,7 @@ class PartyRuntime {
  public:
   PartyRuntime(const ThreadedConfig& config, PartyId id,
                ThreadedFabric& fabric, const ThreadedClock& clock,
-               obs::MonitorEngine* monitors, std::mutex* monitor_mu,
+               obs::MonitorEngine* monitors, Mutex* monitor_mu,
                bool record)
       : id_(id),
         fabric_(fabric),
@@ -212,7 +241,7 @@ ThreadedResult run_threaded(const ThreadedConfig& config,
   const ThreadedClock clock(config.tick_us);
   obs::MonitorEngine monitors;
   obs::install_standard_monitors(monitors);
-  std::mutex monitor_mu;
+  Mutex monitor_mu;
 
   // Runtimes (and their monitor bindings) are built sequentially here;
   // only serve() runs concurrently.
@@ -232,14 +261,13 @@ ThreadedResult run_threaded(const ThreadedConfig& config,
     threads.emplace_back([rt, &spawn] { rt->serve(spawn); });
   }
 
+  // Event-driven teardown: the last mark_done() (or a runtime's
+  // request_stop) signals the fabric's completion condvar, so the driver
+  // parks here instead of polling.
   const auto deadline =
       start + std::chrono::microseconds(
                   static_cast<std::int64_t>(config.timeout_s * 1e6));
-  while (!fabric.all_done() && !fabric.stop_requested() &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  if (!fabric.all_done()) fabric.request_stop();
+  if (!fabric.wait_done(deadline)) fabric.request_stop();
   for (std::thread& t : threads) t.join();
   const auto elapsed = std::chrono::steady_clock::now() - start;
 

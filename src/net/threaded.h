@@ -32,12 +32,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,6 +43,7 @@
 #include "net/simulation.h"
 #include "net/transport.h"
 #include "obs/monitor.h"
+#include "util/thread_safety.h"
 
 namespace nampc {
 
@@ -88,15 +87,28 @@ class ThreadedFabric {
   void request_stop();
   [[nodiscard]] bool stop_requested() const { return stop_.load(); }
 
+  /// Driver-side completion wait: blocks until every runtime reported its
+  /// goal, a stop was requested, or `deadline` passed. Event-driven — the
+  /// last mark_done() / request_stop() signals done_cv_, so teardown needs
+  /// no polling loop. Returns all_done().
+  [[nodiscard]] bool wait_done(std::chrono::steady_clock::time_point deadline)
+      NAMPC_EXCLUDES(done_mu_);
+
  private:
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<WireMessage> q;
+    Mutex mu;
+    CondVar cv;
+    std::deque<WireMessage> q NAMPC_GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  NAMPC_LOCK_FREE("run-wide completion counter, polled by every pump loop")
   std::atomic<int> done_{0};
+  NAMPC_LOCK_FREE("watchdog flag, polled by every pump loop")
   std::atomic<bool> stop_{false};
+  /// Pairs with done_cv_ for wait_done(): the flags themselves are atomic,
+  /// the mutex only orders predicate evaluation against the notify.
+  Mutex done_mu_;
+  CondVar done_cv_;
   int n_;
 };
 
@@ -115,8 +127,14 @@ class ThreadedTransport final : public Transport {
  private:
   ThreadedFabric& fabric_;
   const ThreadedClock& clock_;
-  // Sender-side per-(receiver, instance) sequence counters.
+  // Sender-side per-(receiver, instance) sequence counters. Deliberately
+  // unlocked: post() only ever runs on the owning party's runtime thread
+  // (the Transport seam is driven by that party's Simulation). Debug
+  // builds pin the invariant — see the owning-thread assertion in post().
   std::map<std::pair<PartyId, std::uint32_t>, std::uint64_t> seq_;
+#ifndef NDEBUG
+  std::thread::id owner_thread_;  ///< set by the first post(), then asserted
+#endif
 };
 
 struct ThreadedConfig {

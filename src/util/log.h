@@ -19,11 +19,11 @@
 #include <functional>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 
 #include "util/json.h"
+#include "util/thread_safety.h"
 
 namespace nampc {
 
@@ -166,15 +166,15 @@ class Log {
   /// Serialises emit()/dump_ring() across sweep worker threads. Level and
   /// sink *configuration* is not locked: configure logging before starting
   /// a parallel sweep (see util/sweep.h for the full contract).
-  static std::mutex& io_mutex() {
-    static std::mutex mu;
+  static Mutex& io_mutex() {
+    static Mutex mu;
     return mu;
   }
 
   /// Writes the captured tail (oldest first) through the text format.
   /// Returns the number of events dumped.
   static std::size_t dump_ring(std::ostream& os) {
-    std::lock_guard<std::mutex> lock(io_mutex());
+    const MutexLock lock(io_mutex());
     const auto& r = ring();
     if (r.empty()) {
       if (ring_capacity() == 0) {
@@ -195,7 +195,7 @@ class Log {
   /// by the caller (which already knows the module). Thread-safe: events
   /// from concurrent sweep jobs interleave whole, never mid-line.
   static void emit(LogEvent&& e, bool to_console) {
-    std::lock_guard<std::mutex> lock(io_mutex());
+    const MutexLock lock(io_mutex());
     if (ring_enabled(e.level) && ring_capacity() > 0) {
       auto& r = ring();
       if (r.size() >= ring_capacity()) r.pop_front();

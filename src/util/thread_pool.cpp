@@ -17,8 +17,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mu_);
+    idle_cv_.wait(mu_, [this]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+      return queue_.empty() && in_flight_ == 0;
+    });
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -27,23 +29,27 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.wait(mu_, [this]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+    return queue_.empty() && in_flight_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.wait(mu_, [this]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ with a drained queue
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -51,7 +57,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
     idle_cv_.notify_all();

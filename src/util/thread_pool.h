@@ -5,15 +5,19 @@
 // results comes from the layer above (util/sweep.h), which gives every job
 // its own seeded state and merges results in submission order, so the pool
 // itself only needs to guarantee that every submitted job runs exactly once.
+//
+// All shared state is guarded by mu_ and annotated for Clang's capability
+// analysis (util/thread_safety.h); a build with -Werror=thread-safety
+// proves every access happens under the lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace nampc {
 
@@ -33,21 +37,21 @@ class ThreadPool {
 
   /// Enqueues a job. Jobs must not submit to the same pool from within
   /// themselves (the sweep layer never does).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) NAMPC_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no worker is mid-job.
-  void wait_idle();
+  void wait_idle() NAMPC_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() NAMPC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signalled when a job arrives / stop
-  std::condition_variable idle_cv_;  ///< signalled when a job completes
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;  ///< signalled when a job arrives / stop
+  CondVar idle_cv_;  ///< signalled when a job completes
+  std::deque<std::function<void()>> queue_ NAMPC_GUARDED_BY(mu_);
+  std::size_t in_flight_ NAMPC_GUARDED_BY(mu_) = 0;
+  bool stop_ NAMPC_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  ///< written by the ctor only
 };
 
 /// Number of hardware threads, at least 1 (hardware_concurrency may be 0).

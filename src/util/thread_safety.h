@@ -1,0 +1,161 @@
+// Concurrency annotation vocabulary: Clang thread-safety capability
+// analysis for the handful of genuinely cross-thread seams in the tree
+// (net/threaded mailboxes, the sweep-engine ThreadPool, the locked Logger,
+// Simulation's shared monitor lock).
+//
+// Two enforcement engines share this vocabulary (DESIGN.md §15):
+//
+//   compiler   Clang's -Wthread-safety capability analysis. libstdc++'s
+//              std::mutex carries no capability attributes, so raw
+//              std::mutex + std::lock_guard is invisible to the analysis;
+//              the annotated wrappers below (Mutex, MutexLock, CondVar)
+//              are what make the engine real. CMake turns on
+//              -Wthread-safety -Werror=thread-safety for Clang builds.
+//   project    nampc_lint's concurrency pass (src/lint/concurrency.cpp)
+//              enforces what the compiler cannot express: every
+//              concurrency-primitive declaration must speak this
+//              vocabulary, raw .lock()/.unlock() is banned in favour of
+//              RAII, condvar waits must be predicated, wall-clock tokens
+//              are allowlisted, and protocol code declares no concurrency
+//              primitives at all.
+//
+// Off-Clang every macro expands to nothing and the wrappers compile to the
+// std primitives they hold — zero overhead, zero behaviour change.
+//
+// Convention for predicate lambdas: a lambda passed to CondVar::wait* runs
+// with the mutex held (that is the condvar contract), but the analysis
+// checks lambda bodies as free-standing functions and cannot see the lock.
+// Mark wait predicates NAMPC_NO_THREAD_SAFETY_ANALYSIS — the enclosing
+// wait call already carries NAMPC_REQUIRES(mu), so the hold is proved at
+// the call site, not inside the lambda.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define NAMPC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef NAMPC_THREAD_ANNOTATION
+#define NAMPC_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define NAMPC_CAPABILITY(x) NAMPC_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define NAMPC_SCOPED_CAPABILITY NAMPC_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define NAMPC_GUARDED_BY(x) NAMPC_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by `x`.
+#define NAMPC_PT_GUARDED_BY(x) NAMPC_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held on entry (and
+/// still held on exit).
+#define NAMPC_REQUIRES(...) \
+  NAMPC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define NAMPC_ACQUIRE(...) \
+  NAMPC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define NAMPC_RELEASE(...) \
+  NAMPC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns `b`.
+#define NAMPC_TRY_ACQUIRE(b, ...) \
+  NAMPC_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+/// Function must NOT be called while holding the listed capabilities
+/// (deadlock prevention for self-locking entry points).
+#define NAMPC_EXCLUDES(...) \
+  NAMPC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the capability `x`.
+#define NAMPC_RETURN_CAPABILITY(x) NAMPC_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: the analysis skips this function body. Use for condvar
+/// wait predicates (see the convention above) and nothing else without a
+/// comment explaining why.
+#define NAMPC_NO_THREAD_SAFETY_ANALYSIS \
+  NAMPC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Lexical annotation (expands to nothing on every compiler) for
+/// std::atomic members: declares that the member is deliberately lock-free
+/// shared state, with a one-line reason. nampc_lint's concurrency pass
+/// accepts it as the guarded-by-family annotation atomics must carry.
+#define NAMPC_LOCK_FREE(reason)
+
+namespace nampc {
+
+/// std::mutex with capability attributes, so Clang's analysis can track
+/// acquisition through MutexLock and CondVar. Satisfies BasicLockable.
+class NAMPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NAMPC_ACQUIRE() { mu_.lock(); }
+  void unlock() NAMPC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() NAMPC_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex — the only blessed way to hold one (nampc_lint
+/// bans raw .lock()/.unlock() calls outside this header).
+class NAMPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NAMPC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() NAMPC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Predicate-form waits only: the untimed
+/// and timed waits all take the predicate, so lost-wakeup bugs cannot be
+/// written through this interface (nampc_lint enforces the same shape on
+/// any condvar it sees). Implemented on condition_variable_any, which
+/// accepts Mutex directly as its Lockable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  /// Blocks until `pred()` holds. `mu` must be held; `pred` runs under it.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) NAMPC_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  /// Timed wait: returns pred() at wakeup (false = timed out, still
+  /// unsatisfied).
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) NAMPC_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, std::move(pred));
+  }
+
+  /// Deadline wait: returns pred() at wakeup (false = deadline passed,
+  /// still unsatisfied).
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Pred pred) NAMPC_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nampc

@@ -1,8 +1,10 @@
 // nampc_lint pass tests: scanner/annotation grammar, per-pass true
-// positives and true negatives on synthetic snippets, suppression handling,
-// threshold-table cross-checks (including the seeded wrong-constant mutant
-// of ISSUE 5's acceptance criteria), and the whole-repo gates: zero active
-// findings, and byte-identical reports across --jobs counts.
+// positives and true negatives on synthetic snippets (determinism,
+// threshold, model, concurrency), suppression handling, threshold-table
+// cross-checks (including the seeded wrong-constant mutant of ISSUE 5's
+// acceptance criteria), report rendering (JSON + SARIF), and the
+// whole-repo gates: zero active findings, and byte-identical reports
+// across --jobs counts.
 #include <fstream>
 #include <sstream>
 
@@ -319,6 +321,132 @@ TEST(LintModel, OutOfScopeLayersIgnored) {
   EXPECT_TRUE(active_of(r).empty());
 }
 
+// ---------------------------------------------------------- concurrency ----
+
+TEST(LintConcurrency, FlagsUnannotatedPrimitives) {
+  // Raw std lock types are always findings (the capability analysis cannot
+  // see them); atomics need a NAMPC_GUARDED_BY-family or NAMPC_LOCK_FREE
+  // annotation somewhere in the declaration statement.
+  const Report r = lint_sources(
+      {{"src/net/x.h",
+        "std::mutex mu_;\n"
+        "std::condition_variable cv_;\n"
+        "std::atomic<int> count_{0};\n"}},
+      nullptr);
+  const auto active = active_of(r);
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0].rule, kRuleConcGuard);
+  EXPECT_NE(active[0].message.find("Mutex/CondVar"), std::string::npos);
+  EXPECT_EQ(active[1].rule, kRuleConcGuard);
+  EXPECT_EQ(active[2].rule, kRuleConcGuard);
+  EXPECT_NE(active[2].message.find("NAMPC_GUARDED_BY"), std::string::npos);
+}
+
+TEST(LintConcurrency, AnnotatedVocabularyPasses) {
+  // The ThreadedFabric shape: wrapper types, guarded containers, justified
+  // lock-free atomics, RAII acquisition, predicated waits — zero findings.
+  const Report r = lint_sources(
+      {{"src/net/x.h",
+        "Mutex mu;\n"
+        "CondVar cv;\n"
+        "std::deque<int> q NAMPC_GUARDED_BY(mu);\n"
+        "NAMPC_LOCK_FREE(\"watchdog flag, polled by every pump loop\")\n"
+        "std::atomic<bool> stop_{false};\n"
+        "std::atomic<int> hits_ NAMPC_GUARDED_BY(mu);\n"
+        "void f() {\n"
+        "  const MutexLock lock(mu);\n"
+        "  cv.wait(mu, [&] { return !stop_.load(); });\n"
+        "  cv.wait_for(mu, wait, [&] { return !stop_.load(); });\n"
+        "}\n"}},
+      nullptr);
+  EXPECT_TRUE(active_of(r).empty()) << [&] {
+    std::ostringstream os;
+    r.render_text(os);
+    return os.str();
+  }();
+}
+
+TEST(LintConcurrency, FlagsRawLockCalls) {
+  const Report r = lint_sources({{"src/net/x.cpp",
+                                  "mu_.lock();\n"
+                                  "step();\n"
+                                  "mu_.unlock();\n"}},
+                                nullptr);
+  const auto active = active_of(r);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0].rule, kRuleConcRawLock);
+  EXPECT_EQ(active[1].rule, kRuleConcRawLock);
+  EXPECT_NE(active[0].message.find("MutexLock"), std::string::npos);
+}
+
+TEST(LintConcurrency, FlagsPredicatelessWaits) {
+  // wait(lock) and wait_for(lock, timeout) lack the predicate argument;
+  // the predicated forms in AnnotatedVocabularyPasses are the fix.
+  const Report r = lint_sources({{"src/net/x.cpp",
+                                  "cv.wait(lk);\n"
+                                  "cv.wait_for(lk, ms);\n"
+                                  "cv.wait_until(lk, deadline);\n"}},
+                                nullptr);
+  const auto active = active_of(r);
+  ASSERT_EQ(active.size(), 3u);
+  for (const Finding& f : active) EXPECT_EQ(f.rule, kRuleConcWaitPred);
+}
+
+TEST(LintConcurrency, WallClockAllowlist) {
+  // steady_clock/this_thread/sleep_for outside the allowlist are findings
+  // (the 2 ms polling-loop shape this PR removed from run_threaded); the
+  // threaded backend and bench timers keep their wall clocks.
+  const Report flagged = lint_sources(
+      {{"src/obs/x.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "std::this_thread::sleep_for(std::chrono::milliseconds(2));\n"}},
+      nullptr);
+  const auto active = active_of(flagged);
+  ASSERT_EQ(active.size(), 3u);  // steady_clock, this_thread, sleep_for
+  for (const Finding& f : active) EXPECT_EQ(f.rule, kRuleConcWallClock);
+
+  const Report allowed = lint_sources(
+      {{"src/net/threaded.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "auto id = std::this_thread::get_id();\n"},
+       {"bench/x.cpp",
+        "std::this_thread::sleep_for(tick);\n"
+        "auto t1 = std::chrono::steady_clock::now();\n"}},
+      nullptr);
+  EXPECT_TRUE(active_of(allowed).empty());
+}
+
+TEST(LintConcurrency, ProtocolScopeBansAllPrimitives) {
+  // Protocol code is single-threaded per Simulation by model contract:
+  // zero primitives, wrappers included. thread_local stays legal (the
+  // sanctioned per-thread scratch idiom, e.g. rs/reed_solomon.cpp).
+  const Report r = lint_sources({{"src/sharing/x.cpp",
+                                  "std::mutex mu_;\n"
+                                  "std::atomic<int> a_{0};\n"
+                                  "Mutex wrapped_;\n"
+                                  "std::thread worker_;\n"
+                                  "static thread_local Workspace ws;\n"}},
+                                nullptr);
+  const auto active = active_of(r);
+  ASSERT_EQ(active.size(), 4u);
+  for (const Finding& f : active) EXPECT_EQ(f.rule, kRuleConcProtocol);
+}
+
+TEST(LintConcurrency, SuppressionAndVocabularyHeaderExempt) {
+  const Report r = lint_sources(
+      {{"src/net/x.h",
+        "std::mutex legacy_;  // NOLINT-NAMPC(conc-guard): migration "
+        "pending\n"},
+       // The vocabulary header necessarily holds the raw primitives it
+       // wraps; the pass skips it entirely.
+       {"src/util/thread_safety.h",
+        "std::mutex mu_;\n"
+        "void lock() { mu_.lock(); }\n"}},
+      nullptr);
+  EXPECT_TRUE(active_of(r).empty());
+  EXPECT_EQ(r.suppressed, 1);
+}
+
 // ----------------------------------------------------------- whole repo ----
 
 [[nodiscard]] std::string repo_root() {
@@ -391,6 +519,42 @@ TEST(LintReport, JsonIsParseableAndSchemaTagged) {
   EXPECT_EQ(root.at("schema").text, "nampc-lint/1");
   EXPECT_EQ(root.at("findings").items.size(), 1u);
   EXPECT_EQ(root.at("findings").items[0].at("rule").text, kRuleUnordered);
+}
+
+TEST(LintReport, SarifIsParseableAndCarriesSuppressions) {
+  const Report r = lint_sources(
+      {{"src/net/x.h",
+        "std::mutex mu_;\n"
+        "std::mutex legacy_;  // NOLINT-NAMPC(conc-guard): migration\n"}},
+      nullptr);
+  std::ostringstream os;
+  r.render_sarif(os);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(json_parse(os.str(), root, error)) << error;
+  EXPECT_EQ(root.at("version").text, "2.1.0");
+  ASSERT_EQ(root.at("runs").items.size(), 1u);
+  const JsonValue& run = root.at("runs").items[0];
+  const JsonValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").text, "nampc_lint");
+  // Every catalogue rule ships as a reportingDescriptor.
+  EXPECT_EQ(driver.at("rules").items.size(), rule_catalogue().size());
+  ASSERT_EQ(run.at("results").items.size(), 2u);
+  const JsonValue& active = run.at("results").items[0];
+  EXPECT_EQ(active.at("ruleId").text, kRuleConcGuard);
+  EXPECT_EQ(active.at("locations")
+                .items[0]
+                .at("physicalLocation")
+                .at("artifactLocation")
+                .at("uri")
+                .text,
+            "src/net/x.h");
+  // The NOLINT-suppressed finding still appears, flagged inSource — code
+  // scanning then shows it as reviewed rather than silently dropping it.
+  const JsonValue& suppressed = run.at("results").items[1];
+  ASSERT_EQ(suppressed.at("suppressions").items.size(), 1u);
+  EXPECT_EQ(suppressed.at("suppressions").items[0].at("kind").text,
+            "inSource");
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+// Compiler-engine fixture: a correctly annotated shared-state class. Must
+// compile cleanly under `clang -fsyntax-only -Wthread-safety
+// -Werror=thread-safety` (registered as a CTest when the configured
+// compiler is Clang; see tests/CMakeLists.txt). Companion of
+// wrong_mutex_mutant.cpp, which differs only in which mutex bump() takes
+// and must FAIL the same invocation — together they prove the capability
+// analysis is actually armed, not vacuously passing.
+#include <deque>
+
+#include "util/thread_safety.h"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() NAMPC_EXCLUDES(mu_) {
+    const nampc::MutexLock lock(mu_);
+    ++counter_;
+    pending_.push_back(counter_);
+  }
+
+  [[nodiscard]] int read() NAMPC_EXCLUDES(mu_) {
+    const nampc::MutexLock lock(mu_);
+    return counter_;
+  }
+
+  void drain() NAMPC_EXCLUDES(mu_) {
+    nampc::MutexLock lock(mu_);
+    cv_.wait(mu_, [this]() NAMPC_NO_THREAD_SAFETY_ANALYSIS {
+      return !pending_.empty();
+    });
+    pending_.clear();
+  }
+
+  void signal() NAMPC_EXCLUDES(mu_) {
+    { const nampc::MutexLock lock(mu_); }
+    cv_.notify_all();
+  }
+
+ private:
+  nampc::Mutex mu_;
+  nampc::CondVar cv_;
+  int counter_ NAMPC_GUARDED_BY(mu_) = 0;
+  std::deque<int> pending_ NAMPC_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.bump();
+  tally.signal();
+  return tally.read() == 1 ? 0 : 1;
+}

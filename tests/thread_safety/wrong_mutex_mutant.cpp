@@ -1,0 +1,30 @@
+// Compiler-engine mutant: counter_ is declared guarded by mu_a_, but
+// bump() takes mu_b_. Under `clang -fsyntax-only -Wthread-safety
+// -Werror=thread-safety` this must FAIL to compile (the CTest registers it
+// WILL_FAIL; see tests/CMakeLists.txt) — proving the -Werror gate really
+// catches the guarded-by-wrong-mutex bug class, the one TSan only finds
+// when the racing interleaving actually fires.
+#include "util/thread_safety.h"
+
+namespace {
+
+class Tally {
+ public:
+  void bump() NAMPC_EXCLUDES(mu_a_, mu_b_) {
+    const nampc::MutexLock lock(mu_b_);  // wrong lock: counter_ needs mu_a_
+    ++counter_;
+  }
+
+ private:
+  nampc::Mutex mu_a_;
+  nampc::Mutex mu_b_;
+  int counter_ NAMPC_GUARDED_BY(mu_a_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally tally;
+  tally.bump();
+  return 0;
+}

@@ -1,12 +1,13 @@
 // nampc_lint — project-aware static analysis for the nampc tree.
 //
 //   nampc_lint [--root DIR] [--strict] [--jobs N] [--json FILE]
-//              [--show-suppressed] [--list-rules] [PATH...]
+//              [--sarif FILE] [--show-suppressed] [--list-rules] [PATH...]
 //
-// Runs the determinism, threshold-audit and model-boundary passes (see
-// src/lint/lint.h and DESIGN.md §9) over PATH... (default: src tools),
-// relative to --root (default: current directory, which must hold
-// docs/THRESHOLDS.json). Exit status: 0 when no active findings, 1 when
+// Runs the determinism, threshold-audit, model-boundary and concurrency
+// passes (see src/lint/lint.h and DESIGN.md §9/§15) over PATH... (default:
+// src tools), relative to --root (default: current directory, which must
+// hold docs/THRESHOLDS.json). --sarif emits the report as SARIF 2.1.0 for
+// code-scanning upload. Exit status: 0 when no active findings, 1 when
 // --strict and active findings exist, 2 on usage/configuration errors.
 #include <cstring>
 #include <fstream>
@@ -21,10 +22,13 @@ namespace {
 
 int usage(std::ostream& os, int code) {
   os << "usage: nampc_lint [--root DIR] [--strict] [--jobs N] [--json FILE]\n"
-        "                  [--show-suppressed] [--list-rules] [PATH...]\n"
+        "                  [--sarif FILE] [--show-suppressed] [--list-rules]\n"
+        "                  [PATH...]\n"
         "\n"
         "Project-aware static analysis: determinism, paper-threshold audit,\n"
-        "model-boundary enforcement. PATH... defaults to: src tools\n";
+        "model-boundary and concurrency lock-discipline enforcement.\n"
+        "--sarif writes the report as SARIF 2.1.0 for code-scanning upload.\n"
+        "PATH... defaults to: src tools\n";
   return code;
 }
 
@@ -33,6 +37,7 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
+  std::string sarif_path;
   bool strict = false;
   bool show_suppressed = false;
   std::vector<std::string> paths;
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--jobs" || arg == "-j") {
       ++i;  // value consumed below by sweep_cli_jobs
     } else if (arg.rfind("--jobs=", 0) == 0 || arg.rfind("-j", 0) == 0) {
@@ -86,6 +93,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     report.render_json(out);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "nampc_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    report.render_sarif(out);
   }
   return (strict && report.active > 0) ? 1 : 0;
 }
